@@ -1,0 +1,41 @@
+// Ablation (Section 5.2.1, Figure 9): the cache-conscious chained hash
+// table groups chain entries into blocks sized to the cache line. Sweeps
+// the block size (1 entry = plain pointer chain, 2 = one 64-byte line,
+// larger = multi-line blocks) and measures CoTS throughput.
+
+#include <cstdio>
+
+#include "common/bench_common.h"
+
+using namespace cots;
+using namespace cots::bench;
+
+int main(int argc, char** argv) {
+  BenchConfig config = BenchConfig::Parse(argc, argv);
+  const uint64_t n = config.n != 0 ? config.n : (config.full ? 4'000'000 : 500'000);
+  const std::vector<double> alphas = {1.5, 2.5};
+  const std::vector<size_t> blocks = {1, 2, 4, 8};
+  const int threads = 4;
+
+  PrintHeader("Ablation: cache-conscious hash block size (entries/block)",
+              config);
+  std::printf("stream: %llu elements, %d threads\n\n",
+              static_cast<unsigned long long>(n), threads);
+
+  for (double alpha : alphas) {
+    Stream stream = MakeStream(n, alpha, config);
+    std::printf("alpha = %.1f\n", alpha);
+    PrintRow({"entries/block", "time", "rate"});
+    for (size_t b : blocks) {
+      const double seconds = BestOf(config, [&] {
+        return TimeCots(stream, threads, config.capacity, nullptr, b);
+      });
+      PrintRow({std::to_string(b), FormatSeconds(seconds),
+                FormatRate(static_cast<double>(n) / seconds)});
+    }
+    std::printf("\n");
+  }
+  std::printf("Design note: 2 entries/block fills exactly one 64-byte line; "
+              "gains over 1 show the pointer-chase saved per lookup.\n");
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Ablation (Section 4.3): "the scalability will be worse if the query
+// frequency increases" — the Independent Structures design's merge cost is
+// proportional to query frequency. Sweeps the query interval.
+
+#include <cstdio>
+
+#include "common/bench_common.h"
+
+using namespace cots;
+using namespace cots::bench;
+
+int main(int argc, char** argv) {
+  BenchConfig config = BenchConfig::Parse(argc, argv);
+  const uint64_t n = config.n != 0 ? config.n : (config.full ? 4'000'000 : 400'000);
+  const double alpha = 2.0;
+  const std::vector<uint64_t> intervals = {5'000, 50'000, 500'000};
+  const std::vector<int> threads = {1, 4, 8};
+
+  PrintHeader("Ablation: Independent Structures vs query frequency", config);
+  std::printf("stream: %llu elements, alpha %.1f\n\n",
+              static_cast<unsigned long long>(n), alpha);
+
+  Stream stream = MakeStream(n, alpha, config);
+  PrintRow({"interval \\ thr", "1", "4", "8", "merges"});
+  for (uint64_t interval : intervals) {
+    std::vector<std::string> row = {std::to_string(interval)};
+    uint64_t merges = 0;
+    for (int t : threads) {
+      const double seconds = BestOf(config, [&] {
+        return TimeIndependent(stream, t, config.capacity, interval,
+                               MergeStrategy::kSerial, nullptr, &merges);
+      });
+      row.push_back(FormatSeconds(seconds));
+    }
+    row.push_back(std::to_string(merges));
+    PrintRow(row);
+  }
+  std::printf("\nPaper shape: the more frequent the query (smaller "
+              "interval), the worse multi-thread runs compare to one "
+              "thread.\n");
+  return 0;
+}

@@ -1,0 +1,121 @@
+// Ablation (paper Section 2): "sketch based techniques ... generally
+// process each stream element using a series of hash functions, and hence
+// the processing cost per element is also high. Even though these
+// techniques can answer frequent elements queries, these are not very well
+// suited for the class of applications that require frequency counting."
+// Measures per-element cost and top-k accuracy for the counter-based
+// algorithms against Count-Min and Count Sketch at comparable space.
+
+#include <cstdio>
+
+#include "common/bench_common.h"
+#include "core/count_min_sketch.h"
+#include "core/count_sketch.h"
+#include "core/lossy_counting.h"
+#include "core/space_saving.h"
+#include "stream/exact_counter.h"
+#include "util/stopwatch.h"
+
+using namespace cots;
+using namespace cots::bench;
+
+namespace {
+
+double TopKRelativeError(const ExactCounter& exact, size_t k,
+                         const std::function<uint64_t(ElementId)>& estimate) {
+  double sum = 0.0;
+  size_t count = 0;
+  for (ElementId e : exact.TopK(k)) {
+    const double truth = static_cast<double>(exact.Count(e));
+    const double est = static_cast<double>(estimate(e));
+    sum += std::abs(est - truth) / truth;
+    ++count;
+  }
+  return count == 0 ? 0.0 : sum / static_cast<double>(count);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchConfig config = BenchConfig::Parse(argc, argv);
+  const uint64_t n = config.n != 0 ? config.n : (config.full ? 4'000'000 : 500'000);
+  const double alpha = 1.5;
+
+  PrintHeader("Ablation: counter-based vs sketch-based (Section 2 claim)",
+              config);
+  Stream stream = MakeStream(n, alpha, config);
+  ExactCounter exact(stream);
+  std::printf("stream: %llu elements, alpha %.1f, %zu distinct\n\n",
+              static_cast<unsigned long long>(n), alpha, exact.distinct());
+
+  PrintRow({"engine", "time", "rate", "cells/ctrs", "top50 ARE"});
+
+  {
+    SpaceSavingOptions opt;
+    opt.capacity = config.capacity;
+    if (!opt.Validate().ok()) std::abort();
+    SpaceSaving ss(opt);
+    Stopwatch timer;
+    ss.Process(stream);
+    const double t = timer.ElapsedSeconds();
+    PrintRow({"SpaceSaving", FormatSeconds(t),
+              FormatRate(static_cast<double>(n) / t),
+              std::to_string(ss.num_counters()),
+              std::to_string(TopKRelativeError(exact, 50, [&](ElementId e) {
+                auto c = ss.Lookup(e);
+                return c.has_value() ? c->count : 0;
+              })).substr(0, 6)});
+  }
+  {
+    LossyCountingOptions opt;
+    opt.epsilon = 1.0 / static_cast<double>(config.capacity);
+    LossyCounting lc(opt);
+    Stopwatch timer;
+    lc.Process(stream);
+    const double t = timer.ElapsedSeconds();
+    PrintRow({"LossyCounting", FormatSeconds(t),
+              FormatRate(static_cast<double>(n) / t),
+              std::to_string(lc.num_counters()),
+              std::to_string(TopKRelativeError(exact, 50, [&](ElementId e) {
+                auto c = lc.Lookup(e);
+                return c.has_value() ? c->count : 0;
+              })).substr(0, 6)});
+  }
+  {
+    CountMinSketchOptions opt;
+    opt.epsilon = 1.0 / static_cast<double>(config.capacity);
+    opt.delta = 0.01;
+    if (!opt.Validate().ok()) std::abort();
+    CountMinSketch cms(opt);
+    Stopwatch timer;
+    cms.Process(stream);
+    const double t = timer.ElapsedSeconds();
+    PrintRow({"CountMin", FormatSeconds(t),
+              FormatRate(static_cast<double>(n) / t),
+              std::to_string(cms.cells()),
+              std::to_string(TopKRelativeError(exact, 50, [&](ElementId e) {
+                return cms.Estimate(e);
+              })).substr(0, 6)});
+  }
+  {
+    CountSketchOptions opt;
+    opt.width = config.capacity * 3;
+    opt.depth = 5;
+    if (!opt.Validate().ok()) std::abort();
+    CountSketch cs(opt);
+    Stopwatch timer;
+    cs.Process(stream);
+    const double t = timer.ElapsedSeconds();
+    PrintRow({"CountSketch", FormatSeconds(t),
+              FormatRate(static_cast<double>(n) / t),
+              std::to_string(cs.cells()),
+              std::to_string(TopKRelativeError(exact, 50, [&](ElementId e) {
+                return cs.Estimate(e);
+              })).substr(0, 6)});
+  }
+  std::printf("\nPaper claim: the sketches pay d hash+update rounds per "
+              "element (lower rate) and need an auxiliary structure to "
+              "answer set queries at all; counter-based techniques give "
+              "exact-on-skew answers at a fraction of the space.\n");
+  return 0;
+}

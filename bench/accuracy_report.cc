@@ -1,0 +1,149 @@
+// Accuracy validation across all engines: Space Saving guarantees (Section
+// 3.3) must hold regardless of parallelization. Reports frequent-set
+// precision/recall and average relative error versus exact ground truth for
+// sequential Space Saving, Lossy Counting, Misra-Gries, the Shared
+// baseline, Independent (merged), CoTS Space Saving, and CoTS Lossy
+// Counting, over the paper's alpha range.
+
+#include <cstdio>
+#include <thread>
+
+#include "baselines/independent_space_saving.h"
+#include "common/bench_common.h"
+#include "core/accuracy.h"
+#include "core/lossy_counting.h"
+#include "core/misra_gries.h"
+#include "cots/cots_lossy_counting.h"
+#include "stream/exact_counter.h"
+
+using namespace cots;
+using namespace cots::bench;
+
+namespace {
+
+void Report(const char* name, const FrequencySummary& summary,
+            const ExactCounter& exact, const AccuracyOptions& aopt) {
+  AccuracyReport r = EvaluateAccuracy(summary, exact, aopt);
+  char are[16];
+  std::snprintf(are, sizeof(are), "%.4f", r.avg_relative_error);
+  PrintRow({name, FormatPercent(100.0 * r.precision),
+            FormatPercent(100.0 * r.recall), are,
+            std::to_string(r.monitored),
+            std::to_string(r.bound_violations)});
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchConfig config = BenchConfig::Parse(argc, argv);
+  const uint64_t n = config.n != 0 ? config.n : (config.full ? 2'000'000 : 300'000);
+  const std::vector<double> alphas = {1.5, 2.0, 2.5, 3.0};
+  const int threads = 4;
+
+  PrintHeader("Accuracy: every engine vs exact counts", config);
+  AccuracyOptions aopt;
+  aopt.phi = 0.005;
+  aopt.top_k = 50;
+  std::printf("stream: %llu elements | frequent threshold phi=%.3f | "
+              "relative error over true top-%zu\n\n",
+              static_cast<unsigned long long>(n), aopt.phi, aopt.top_k);
+
+  for (double alpha : alphas) {
+    Stream stream = MakeStream(n, alpha, config);
+    ExactCounter exact(stream);
+    std::printf("alpha = %.1f (distinct elements: %zu)\n", alpha,
+                exact.distinct());
+    PrintRow({"engine", "precision", "recall", "ARE", "counters", "viol"});
+
+    {
+      SpaceSavingOptions opt;
+      opt.capacity = config.capacity;
+      if (!opt.Validate().ok()) std::abort();
+      SpaceSaving ss(opt);
+      ss.Process(stream);
+      Report("SpaceSaving", ss, exact, aopt);
+    }
+    {
+      LossyCountingOptions opt;
+      opt.epsilon = 1.0 / static_cast<double>(config.capacity);
+      LossyCounting lc(opt);
+      lc.Process(stream);
+      Report("LossyCounting", lc, exact, aopt);
+    }
+    {
+      MisraGriesOptions opt;
+      opt.capacity = config.capacity;
+      MisraGries mg(opt);
+      mg.Process(stream);
+      Report("MisraGries", mg, exact, aopt);
+    }
+    {
+      SharedSpaceSavingOptions opt;
+      opt.capacity = config.capacity;
+      if (!opt.Validate().ok()) std::abort();
+      SharedSpaceSavingMutex shared(opt);
+      std::vector<std::thread> workers;
+      const uint64_t slice = n / threads;
+      for (int t = 0; t < threads; ++t) {
+        workers.emplace_back([&, t] {
+          const uint64_t begin = slice * static_cast<uint64_t>(t);
+          const uint64_t end = t == threads - 1 ? n : begin + slice;
+          for (uint64_t i = begin; i < end; ++i) shared.Offer(stream[i], t);
+        });
+      }
+      for (std::thread& w : workers) w.join();
+      Report("Shared(4thr)", shared, exact, aopt);
+    }
+    {
+      IndependentSpaceSavingOptions opt;
+      opt.capacity = config.capacity;
+      opt.num_threads = threads;
+      opt.query_interval = 50'000;
+      if (!opt.Validate().ok()) std::abort();
+      IndependentSpaceSaving indep(opt);
+      IndependentRunResult result = indep.Run(stream);
+      Report("Indep(4thr)", result.merged, exact, aopt);
+    }
+    {
+      CotsSpaceSavingOptions opt;
+      opt.capacity = config.capacity;
+      if (!opt.Validate().ok()) std::abort();
+      CotsSpaceSaving engine(opt);
+      std::vector<std::thread> workers;
+      const uint64_t slice = n / threads;
+      for (int t = 0; t < threads; ++t) {
+        workers.emplace_back([&, t] {
+          auto handle = engine.RegisterThread();
+          const uint64_t begin = slice * static_cast<uint64_t>(t);
+          const uint64_t end = t == threads - 1 ? n : begin + slice;
+          for (uint64_t i = begin; i < end; ++i) handle->Offer(stream[i]);
+        });
+      }
+      for (std::thread& w : workers) w.join();
+      Report("CoTS-SS(4thr)", engine, exact, aopt);
+    }
+    {
+      CotsLossyCountingOptions opt;
+      opt.epsilon = 1.0 / static_cast<double>(config.capacity);
+      if (!opt.Validate().ok()) std::abort();
+      CotsLossyCounting engine(opt);
+      std::vector<std::thread> workers;
+      const uint64_t slice = n / threads;
+      for (int t = 0; t < threads; ++t) {
+        workers.emplace_back([&, t] {
+          auto handle = engine.RegisterThread();
+          const uint64_t begin = slice * static_cast<uint64_t>(t);
+          const uint64_t end = t == threads - 1 ? n : begin + slice;
+          for (uint64_t i = begin; i < end; ++i) handle->Offer(stream[i]);
+        });
+      }
+      for (std::thread& w : workers) w.join();
+      Report("CoTS-LC(4thr)", engine, exact, aopt);
+    }
+    std::printf("\n");
+  }
+  std::printf("Expectation: recall 100%% and zero bound violations "
+              "everywhere; precision dips only for under-provisioned "
+              "low-skew runs.\n");
+  return 0;
+}

@@ -1,0 +1,106 @@
+// Copyright (c) the CoTS reproduction authors.
+//
+// Shared machinery for the figure/table benchmark binaries. Each binary
+// regenerates one table or figure from the paper's evaluation (Section 4.3
+// and Section 6); this header provides the workload builder, the timed
+// runners for all four systems (sequential, shared, independent, CoTS), and
+// the table printer.
+//
+// Defaults are scaled down ~10x from the paper so that `for b in bench/*;
+// do $b; done` finishes in minutes on one core; pass --full for paper-scale
+// parameters (5M-100M element streams, up to 256 threads). Shapes — who
+// wins, by what factor, where the crossovers sit — are what reproduce;
+// absolute numbers depend on the machine, whose topology every binary
+// prints in its header.
+
+#ifndef COTS_BENCH_COMMON_BENCH_COMMON_H_
+#define COTS_BENCH_COMMON_BENCH_COMMON_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "baselines/independent_space_saving.h"
+#include "baselines/shared_space_saving.h"
+#include "cots/cots_space_saving.h"
+#include "stream/zipf_generator.h"
+#include "util/phase_profiler.h"
+
+namespace cots {
+namespace bench {
+
+struct BenchConfig {
+  /// Paper-scale parameters instead of CI-scale.
+  bool full = false;
+  /// Stream length override (0 = per-bench default).
+  uint64_t n = 0;
+  /// Alphabet override (0 = n / 20, the paper's 5M:100M ratio).
+  uint64_t alphabet = 0;
+  /// Monitored counters for every engine.
+  size_t capacity = 1000;
+  /// Timing repeats per configuration (median-of reported).
+  int repeats = 1;
+  uint64_t seed = 42;
+
+  /// Parses --full, --n=, --alphabet=, --capacity=, --repeats=, --seed=.
+  static BenchConfig Parse(int argc, char** argv);
+
+  uint64_t AlphabetFor(uint64_t stream_len) const {
+    if (alphabet != 0) return alphabet;
+    const uint64_t a = stream_len / 20;
+    return a < 64 ? 64 : a;
+  }
+};
+
+/// Prints the standard header: bench name, machine topology, parameters.
+void PrintHeader(const std::string& title, const BenchConfig& config);
+
+/// Zipfian stream with the bench conventions (permuted keys).
+Stream MakeStream(uint64_t n, double alpha, const BenchConfig& config);
+
+/// Runs `fn` config.repeats times and returns the best (minimum) seconds —
+/// the paper's Table 2 compares best-case execution times.
+double BestOf(const BenchConfig& config, const std::function<double()>& fn);
+
+// ---- Timed runners (seconds of wall time to consume the whole stream) ----
+
+double TimeSequential(const Stream& stream, size_t capacity);
+
+/// Shared Structure baseline; threads slice the stream contiguously.
+template <typename Mutex>
+double TimeShared(const Stream& stream, int threads, size_t capacity,
+                  PhaseProfiler* profiler = nullptr);
+
+/// Independent Structures baseline with a merge every `query_interval`.
+double TimeIndependent(const Stream& stream, int threads, size_t capacity,
+                       uint64_t query_interval, MergeStrategy strategy,
+                       PhaseProfiler* profiler = nullptr,
+                       uint64_t* merges = nullptr);
+
+struct CotsRunStats {
+  uint64_t bulk_increments = 0;
+  uint64_t buckets_created = 0;
+  uint64_t buckets_garbage_collected = 0;
+  uint64_t overwrites_deferred = 0;
+};
+
+/// CoTS engine; threads slice the stream contiguously.
+double TimeCots(const Stream& stream, int threads, size_t capacity,
+                CotsRunStats* stats = nullptr, size_t hash_block_entries = 2);
+
+// ---- Table printing ----
+
+/// Prints a row of fixed-width columns: first column left-aligned label,
+/// the rest right-aligned.
+void PrintRow(const std::vector<std::string>& cells, int width = 12);
+
+std::string FormatSeconds(double seconds);
+std::string FormatRate(double elements_per_second);
+std::string FormatRatio(double ratio);
+std::string FormatPercent(double percent);
+
+}  // namespace bench
+}  // namespace cots
+
+#endif  // COTS_BENCH_COMMON_BENCH_COMMON_H_

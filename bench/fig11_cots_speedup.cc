@@ -1,0 +1,70 @@
+// Reproduces Figure 11: scalability of the CoTS framework with increasing
+// thread count. Speedup is computed against the 4-thread run — the paper's
+// baseline, chosen because the cooperation model needs enough threads to
+// delegate between (and the paper's machine has 4 cores). Also prints the
+// 1 -> 4 thread throughput ratio the paper quotes in the text ("throughput
+// increases almost by 30 times when the number of threads was increased
+// from 1 to 4" — a superlinear jump driven by bulk increments).
+//
+// Paper shape: near-linear scaling for high alpha (delegation collapses
+// duplicate work); alpha = 1.5 plateaus around 8-16 threads but does not
+// degrade.
+
+#include <cstdio>
+
+#include "common/bench_common.h"
+
+using namespace cots;
+using namespace cots::bench;
+
+int main(int argc, char** argv) {
+  BenchConfig config = BenchConfig::Parse(argc, argv);
+  const uint64_t n = config.n != 0 ? config.n : (config.full ? 1'000'000 : 250'000);
+  const std::vector<double> alphas = {1.5, 2.0, 2.5, 3.0};
+  const std::vector<int> threads =
+      config.full ? std::vector<int>{4, 8, 16, 32, 64, 128, 256}
+                  : std::vector<int>{4, 8, 16, 32};
+
+  PrintHeader("Figure 11: CoTS speedup vs threads (baseline: 4 threads)",
+              config);
+  std::printf("stream: %llu elements, alphabet %llu\n\n",
+              static_cast<unsigned long long>(n),
+              static_cast<unsigned long long>(config.AlphabetFor(n)));
+
+  std::vector<std::string> head = {"alpha \\ threads"};
+  for (int t : threads) head.push_back(std::to_string(t));
+  head.push_back("1->4 rate");
+  head.push_back("bulk incs");
+  PrintRow(head);
+
+  for (double alpha : alphas) {
+    Stream stream = MakeStream(n, alpha, config);
+    const double t1 = BestOf(config, [&] {
+      return TimeCots(stream, 1, config.capacity);
+    });
+    double base = 0.0;
+    CotsRunStats stats4;
+    std::vector<std::string> row = {"alpha=" + std::to_string(alpha).substr(0, 3)};
+    for (int t : threads) {
+      CotsRunStats stats;
+      const double seconds = BestOf(config, [&] {
+        return TimeCots(stream, t, config.capacity, &stats);
+      });
+      if (t == threads.front()) {
+        base = seconds;
+        stats4 = stats;
+      }
+      row.push_back(FormatRatio(base / seconds));
+    }
+    row.push_back(FormatRatio(t1 / base));
+    row.push_back(std::to_string(stats4.bulk_increments));
+    PrintRow(row);
+  }
+  std::printf(
+      "\nPaper shape: higher alpha scales further (bulk increments absorb "
+      "same-element work); alpha=1.5 flattens by 8-16 threads without "
+      "degrading.\nNOTE: on a machine with fewer hardware threads than the "
+      "sweep, wall-clock speedup beyond the core count reflects delegation "
+      "efficiency, not added parallelism.\n");
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Reproduces Figure 12: CoTS execution time over input size x thread
+// count, for alpha in {2.0, 2.5, 3.0}.
+//
+// Paper shape: execution time grows linearly with the input length, and
+// the scalability profile is the same at every input size — important
+// because streams are unbounded.
+
+#include <cstdio>
+
+#include "common/bench_common.h"
+
+using namespace cots;
+using namespace cots::bench;
+
+int main(int argc, char** argv) {
+  BenchConfig config = BenchConfig::Parse(argc, argv);
+  const std::vector<uint64_t> sizes =
+      config.full
+          ? std::vector<uint64_t>{1'000'000, 2'000'000, 4'000'000, 8'000'000,
+                                  16'000'000}
+          : std::vector<uint64_t>{125'000, 250'000, 500'000, 1'000'000};
+  const std::vector<int> threads =
+      config.full ? std::vector<int>{4, 8, 16, 32} : std::vector<int>{2, 4, 8};
+  const std::vector<double> alphas = {2.0, 2.5, 3.0};
+
+  PrintHeader("Figure 12: CoTS — execution time (s) vs input size x threads",
+              config);
+
+  for (double alpha : alphas) {
+    std::printf("alpha = %.1f\n", alpha);
+    std::vector<std::string> head = {"n \\ threads"};
+    for (int t : threads) head.push_back(std::to_string(t));
+    PrintRow(head);
+    for (uint64_t n : sizes) {
+      Stream stream = MakeStream(n, alpha, config);
+      std::vector<std::string> row = {std::to_string(n)};
+      for (int t : threads) {
+        const double seconds = BestOf(config, [&] {
+          return TimeCots(stream, t, config.capacity);
+        });
+        row.push_back(FormatSeconds(seconds));
+      }
+      PrintRow(row);
+    }
+    std::printf("\n");
+  }
+  std::printf("Paper shape: time doubles as n doubles (each column is "
+              "linear in n); the thread profile is size-independent.\n");
+  return 0;
+}

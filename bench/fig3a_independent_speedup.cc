@@ -1,0 +1,52 @@
+// Reproduces Figure 3(a): speedup of the Independent Structures design over
+// its own single-thread run, with a query (= serial merge) every 50000
+// elements, for zipf alpha in {1.5, 2.0, 2.5, 3.0}.
+//
+// Paper shape: no speedup at any thread count — the merge cost erases the
+// counting parallelism, and adding threads makes it worse.
+
+#include <cstdio>
+
+#include "common/bench_common.h"
+
+using namespace cots;
+using namespace cots::bench;
+
+int main(int argc, char** argv) {
+  BenchConfig config = BenchConfig::Parse(argc, argv);
+  const uint64_t n = config.n != 0 ? config.n : (config.full ? 5'000'000 : 400'000);
+  const uint64_t interval = 50'000;
+  const std::vector<double> alphas = {1.5, 2.0, 2.5, 3.0};
+  const std::vector<int> threads =
+      config.full ? std::vector<int>{1, 2, 4, 8, 16, 32}
+                  : std::vector<int>{1, 2, 4, 8};
+
+  PrintHeader("Figure 3(a): Independent Structures speedup vs threads "
+              "(query every 50k elements)",
+              config);
+  std::printf("stream: %llu elements, alphabet %llu\n\n",
+              static_cast<unsigned long long>(n),
+              static_cast<unsigned long long>(config.AlphabetFor(n)));
+
+  std::vector<std::string> head = {"alpha \\ threads"};
+  for (int t : threads) head.push_back(std::to_string(t));
+  PrintRow(head);
+
+  for (double alpha : alphas) {
+    Stream stream = MakeStream(n, alpha, config);
+    double base = 0.0;
+    std::vector<std::string> row = {"alpha=" + std::to_string(alpha).substr(0, 3)};
+    for (int t : threads) {
+      const double seconds = BestOf(config, [&] {
+        return TimeIndependent(stream, t, config.capacity, interval,
+                               MergeStrategy::kSerial);
+      });
+      if (t == threads.front()) base = seconds;
+      row.push_back(FormatRatio(base / seconds));
+    }
+    PrintRow(row);
+  }
+  std::printf("\nPaper shape: speedup stays at or below 1x; more threads "
+              "means more merge work per query.\n");
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Reproduces Figure 3(b): speedup of the Shared Structure design
+// (pthread-mutex synchronization) over its own single-thread run, for zipf
+// alpha in {1.5, 2.0, 2.5, 3.0}.
+//
+// Paper shape: performance DEGRADES from 1 to #cores threads (real
+// parallelism = real contention), then stays roughly flat beyond the core
+// count (time-sliced threads cap the concurrent contention).
+
+#include <cstdio>
+
+#include "common/bench_common.h"
+
+using namespace cots;
+using namespace cots::bench;
+
+int main(int argc, char** argv) {
+  BenchConfig config = BenchConfig::Parse(argc, argv);
+  const uint64_t n = config.n != 0 ? config.n : (config.full ? 5'000'000 : 300'000);
+  const std::vector<double> alphas = {1.5, 2.0, 2.5, 3.0};
+  const std::vector<int> threads =
+      config.full ? std::vector<int>{1, 2, 4, 8, 16, 32}
+                  : std::vector<int>{1, 2, 4, 8};
+
+  PrintHeader("Figure 3(b): Shared Structure speedup vs threads "
+              "(mutex synchronization)",
+              config);
+  std::printf("stream: %llu elements, alphabet %llu\n\n",
+              static_cast<unsigned long long>(n),
+              static_cast<unsigned long long>(config.AlphabetFor(n)));
+
+  std::vector<std::string> head = {"alpha \\ threads"};
+  for (int t : threads) head.push_back(std::to_string(t));
+  PrintRow(head);
+
+  for (double alpha : alphas) {
+    Stream stream = MakeStream(n, alpha, config);
+    double base = 0.0;
+    std::vector<std::string> row = {"alpha=" + std::to_string(alpha).substr(0, 3)};
+    for (int t : threads) {
+      const double seconds = BestOf(config, [&] {
+        return TimeShared<std::mutex>(stream, t, config.capacity);
+      });
+      if (t == threads.front()) base = seconds;
+      row.push_back(FormatRatio(base / seconds));
+    }
+    PrintRow(row);
+  }
+  std::printf("\nPaper shape: speedup < 1x once threads contend; flattens "
+              "past the hardware thread count.\n");
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Reproduces Figure 4: time breakdown of the Independent Structures design
+// into Counting vs Merge, per thread count, for alpha in {2.0, 2.5, 3.0},
+// with a query (serial merge) every 50000 elements.
+//
+// Paper shape: the Counting share shrinks as threads are added (that part
+// parallelizes), while the Merge share grows to dominate.
+
+#include <cstdio>
+
+#include "common/bench_common.h"
+
+using namespace cots;
+using namespace cots::bench;
+
+int main(int argc, char** argv) {
+  BenchConfig config = BenchConfig::Parse(argc, argv);
+  const uint64_t n = config.n != 0 ? config.n : (config.full ? 5'000'000 : 400'000);
+  const uint64_t interval = 50'000;
+  const std::vector<double> alphas = {2.0, 2.5, 3.0};
+  const std::vector<int> threads =
+      config.full ? std::vector<int>{1, 2, 4, 8, 16} : std::vector<int>{1, 2, 4, 8};
+
+  PrintHeader("Figure 4: Independent Structures profile — Counting vs Merge "
+              "(% of instrumented time)",
+              config);
+  std::printf("stream: %llu elements, query every %llu\n\n",
+              static_cast<unsigned long long>(n),
+              static_cast<unsigned long long>(interval));
+
+  for (double alpha : alphas) {
+    Stream stream = MakeStream(n, alpha, config);
+    std::printf("alpha = %.1f\n", alpha);
+    PrintRow({"threads", "Counting", "Merge"});
+    for (int t : threads) {
+      PhaseProfiler profiler(IndependentPhases::Names(), t, /*enabled=*/true);
+      TimeIndependent(stream, t, config.capacity, interval,
+                      MergeStrategy::kSerial, &profiler);
+      std::vector<double> pct = profiler.Percentages();
+      PrintRow({std::to_string(t),
+                FormatPercent(pct[IndependentPhases::kCounting]),
+                FormatPercent(pct[IndependentPhases::kMerge])});
+    }
+    std::printf("\n");
+  }
+  std::printf("Paper shape: Merge share grows with threads and dominates; "
+              "Counting scales away.\n");
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Reproduces Figure 5: time breakdown of the Shared Structure design into
+// Hash Opns / Structure Opns / Min-Max Locks / Bucket Locks / Rest, per
+// thread count, for alpha in {2.0, 2.5, 3.0}.
+//
+// Paper shape: the Hash Opns share (which includes blocking while another
+// thread processes the same element) grows with threads, and grows FASTER
+// at higher skew; at lower skew more time sits in Structure Opns.
+
+#include <cstdio>
+
+#include "common/bench_common.h"
+#include "util/stopwatch.h"
+
+using namespace cots;
+using namespace cots::bench;
+
+int main(int argc, char** argv) {
+  BenchConfig config = BenchConfig::Parse(argc, argv);
+  const uint64_t n = config.n != 0 ? config.n : (config.full ? 5'000'000 : 200'000);
+  const std::vector<double> alphas = {2.0, 2.5, 3.0};
+  const std::vector<int> threads =
+      config.full ? std::vector<int>{1, 2, 4, 8, 16} : std::vector<int>{1, 2, 4, 8};
+
+  PrintHeader("Figure 5: Shared Structure profile — where the time goes "
+              "(% of wall time x threads)",
+              config);
+  std::printf("stream: %llu elements\n\n", static_cast<unsigned long long>(n));
+
+  for (double alpha : alphas) {
+    Stream stream = MakeStream(n, alpha, config);
+    std::printf("alpha = %.1f\n", alpha);
+    PrintRow({"threads", "Hash Opns", "Structure", "Min-Max", "Bucket", "Rest"});
+    for (int t : threads) {
+      PhaseProfiler profiler(SharedPhases::Names(), t, /*enabled=*/true);
+      const double wall = TimeShared<std::mutex>(stream, t, config.capacity,
+                                                 &profiler);
+      // Total thread-time = wall * threads; Rest = that minus instrumented.
+      std::vector<uint64_t> nanos = profiler.TotalNanos();
+      const double total = wall * 1e9 * t;
+      double instrumented = 0;
+      for (uint64_t v : nanos) instrumented += static_cast<double>(v);
+      const double rest = total > instrumented ? total - instrumented : 0.0;
+      auto pct = [&](double v) { return FormatPercent(100.0 * v / total); };
+      PrintRow({std::to_string(t),
+                pct(static_cast<double>(nanos[SharedPhases::kHashOpns])),
+                pct(static_cast<double>(nanos[SharedPhases::kStructureOpns])),
+                pct(static_cast<double>(nanos[SharedPhases::kMinMaxLocks])),
+                pct(static_cast<double>(nanos[SharedPhases::kBucketLocks])),
+                pct(rest)});
+    }
+    std::printf("\n");
+  }
+  std::printf("Paper shape: Hash Opns %% grows with threads (element-level "
+              "blocking), faster at higher alpha.\n");
+  return 0;
+}

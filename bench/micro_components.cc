@@ -1,0 +1,182 @@
+// Google-benchmark micro benchmarks for the load-bearing components: zipf
+// sampling, the delegation hash table's fast paths, request queue ops, EBR
+// guard overhead, the sequential Stream Summary, and the spinlock. Run in
+// Release mode; absolute numbers are machine-specific, relative costs are
+// what matters (e.g. Delegate ~= a hash probe + one fetch_add).
+
+#include <benchmark/benchmark.h>
+
+#include "core/count_min_sketch.h"
+#include "core/count_sketch.h"
+#include "core/space_saving.h"
+#include "cots/cots_space_saving.h"
+#include "cots/delegation_hash_table.h"
+#include "cots/request.h"
+#include "stream/zipf_generator.h"
+#include "util/ebr.h"
+#include "util/spinlock.h"
+
+namespace cots {
+namespace {
+
+void BM_ZipfSample(benchmark::State& state) {
+  ZipfOptions opt;
+  opt.alphabet_size = 5'000'000;
+  opt.alpha = static_cast<double>(state.range(0)) / 10.0;
+  ZipfGenerator gen(opt);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gen.Next());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ZipfSample)->Arg(15)->Arg(20)->Arg(30);
+
+void BM_SpinLockUncontended(benchmark::State& state) {
+  SpinLock lock;
+  for (auto _ : state) {
+    lock.lock();
+    lock.unlock();
+  }
+}
+BENCHMARK(BM_SpinLockUncontended);
+
+void BM_EpochGuardEnterExit(benchmark::State& state) {
+  EpochManager manager(8);
+  EpochParticipant* p = manager.Register();
+  for (auto _ : state) {
+    EpochGuard guard(p);
+    benchmark::DoNotOptimize(p);
+  }
+  manager.Unregister(p);
+}
+BENCHMARK(BM_EpochGuardEnterExit);
+
+void BM_RequestQueueEnqueueDrain(benchmark::State& state) {
+  RequestQueue queue;
+  Request r;
+  r.kind = Request::Kind::kIncrement;
+  r.delta = 1;
+  std::vector<Request> out;
+  for (auto _ : state) {
+    for (int i = 0; i < 16; ++i) queue.TryEnqueue(r);
+    out.clear();
+    queue.DrainTo(&out);
+    benchmark::DoNotOptimize(out.size());
+  }
+  state.SetItemsProcessed(state.iterations() * 16);
+}
+BENCHMARK(BM_RequestQueueEnqueueDrain);
+
+void BM_HashDelegateRelinquish(benchmark::State& state) {
+  EpochManager manager(8);
+  DelegationHashTableOptions opt;
+  opt.buckets = 4096;
+  DelegationHashTable table(opt, &manager);
+  EpochParticipant* p = manager.Register();
+  ZipfOptions zopt;
+  zopt.alphabet_size = 1000;
+  zopt.alpha = 2.0;
+  ZipfGenerator gen(zopt);
+  for (auto _ : state) {
+    EpochGuard guard(p);
+    auto r = table.Delegate(gen.Next());
+    if (r.owner) table.Relinquish(r.entry);
+  }
+  state.SetItemsProcessed(state.iterations());
+  manager.Unregister(p);
+}
+BENCHMARK(BM_HashDelegateRelinquish);
+
+void BM_HashFindHit(benchmark::State& state) {
+  EpochManager manager(8);
+  DelegationHashTableOptions opt;
+  opt.buckets = 4096;
+  DelegationHashTable table(opt, &manager);
+  EpochParticipant* p = manager.Register();
+  {
+    EpochGuard guard(p);
+    for (ElementId e = 1; e <= 1000; ++e) {
+      auto r = table.Delegate(e);
+      if (r.owner) table.Relinquish(r.entry);
+    }
+  }
+  ElementId e = 1;
+  for (auto _ : state) {
+    EpochGuard guard(p);
+    benchmark::DoNotOptimize(table.Find(e));
+    e = e % 1000 + 1;
+  }
+  state.SetItemsProcessed(state.iterations());
+  manager.Unregister(p);
+}
+BENCHMARK(BM_HashFindHit);
+
+void BM_SequentialSpaceSavingOffer(benchmark::State& state) {
+  SpaceSavingOptions opt;
+  opt.capacity = 1000;
+  if (!opt.Validate().ok()) std::abort();
+  SpaceSaving engine(opt);
+  ZipfOptions zopt;
+  zopt.alphabet_size = 100'000;
+  zopt.alpha = static_cast<double>(state.range(0)) / 10.0;
+  ZipfGenerator gen(zopt);
+  for (auto _ : state) {
+    engine.Offer(gen.Next());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SequentialSpaceSavingOffer)->Arg(15)->Arg(30);
+
+void BM_CotsOfferSingleThread(benchmark::State& state) {
+  CotsSpaceSavingOptions opt;
+  opt.capacity = 1000;
+  if (!opt.Validate().ok()) std::abort();
+  CotsSpaceSaving engine(opt);
+  auto handle = engine.RegisterThread();
+  ZipfOptions zopt;
+  zopt.alphabet_size = 100'000;
+  zopt.alpha = static_cast<double>(state.range(0)) / 10.0;
+  ZipfGenerator gen(zopt);
+  for (auto _ : state) {
+    handle->Offer(gen.Next());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CotsOfferSingleThread)->Arg(15)->Arg(30);
+
+void BM_CountMinOffer(benchmark::State& state) {
+  CountMinSketchOptions opt;
+  opt.epsilon = 1.0 / 1000.0;
+  opt.delta = 0.01;
+  CountMinSketch cms(opt);
+  ZipfOptions zopt;
+  zopt.alphabet_size = 100'000;
+  zopt.alpha = 2.0;
+  ZipfGenerator gen(zopt);
+  for (auto _ : state) {
+    cms.Offer(gen.Next());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CountMinOffer);
+
+void BM_CountSketchOffer(benchmark::State& state) {
+  CountSketchOptions opt;
+  opt.width = 3000;
+  opt.depth = 5;
+  CountSketch cs(opt);
+  ZipfOptions zopt;
+  zopt.alphabet_size = 100'000;
+  zopt.alpha = 2.0;
+  ZipfGenerator gen(zopt);
+  for (auto _ : state) {
+    cs.Offer(gen.Next());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CountSketchOffer);
+
+}  // namespace
+}  // namespace cots
+
+BENCHMARK_MAIN();

@@ -1,0 +1,83 @@
+// Quickstart: count element frequencies over a stream with the CoTS engine
+// and answer the paper's query types.
+//
+//   build/examples/quickstart
+//
+// Walks through: configuring the engine, feeding it from multiple threads,
+// and running point / set / top-k queries through the common query layer.
+
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "core/query.h"
+#include "cots/cots_space_saving.h"
+#include "stream/zipf_generator.h"
+
+int main() {
+  // 1. Configure: monitor at most 1/epsilon = 500 counters. Any element
+  //    whose true frequency exceeds N/500 is guaranteed to be monitored.
+  cots::CotsSpaceSavingOptions options;
+  options.epsilon = 0.002;
+  if (cots::Status s = options.Validate(); !s.ok()) {
+    std::fprintf(stderr, "bad options: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  cots::CotsSpaceSaving engine(options);
+
+  // 2. Feed: four threads push a skewed synthetic stream. Each worker
+  //    registers once and calls Offer per element; the cooperation protocol
+  //    handles all cross-thread coordination.
+  cots::ZipfOptions zipf;
+  zipf.alphabet_size = 100'000;
+  zipf.alpha = 2.0;
+  const cots::Stream stream = cots::MakeZipfStream(400'000, zipf);
+
+  const int kThreads = 4;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&engine, &stream, t] {
+      auto handle = engine.RegisterThread();
+      const size_t slice = stream.size() / kThreads;
+      const size_t begin = slice * static_cast<size_t>(t);
+      const size_t end = t == kThreads - 1 ? stream.size() : begin + slice;
+      for (size_t i = begin; i < end; ++i) handle->Offer(stream[i]);
+    });
+  }
+  for (std::thread& w : workers) w.join();
+
+  std::printf("processed %llu elements into %zu monitored counters\n\n",
+              static_cast<unsigned long long>(engine.stream_length()),
+              engine.num_counters());
+
+  // 3. Query: the engine implements FrequencySummary, so the generic query
+  //    layer works directly on it.
+  cots::QueryEngine queries(&engine);
+
+  // Set query: everything above 0.5% of the stream.
+  cots::FrequentSetResult frequent = queries.FrequentElements(0.005);
+  std::printf("elements above 0.5%% of the stream: %zu guaranteed, %zu "
+              "potential\n",
+              frequent.guaranteed.size(), frequent.potential.size());
+
+  // Top-k set query.
+  std::printf("top-5 elements:\n");
+  for (const cots::Counter& c : queries.TopK(5)) {
+    std::printf("  key=%llu  count~%llu (over-estimate by at most %llu)\n",
+                static_cast<unsigned long long>(c.key),
+                static_cast<unsigned long long>(c.count),
+                static_cast<unsigned long long>(c.error));
+  }
+
+  // Point queries.
+  const cots::ElementId probe = frequent.guaranteed.empty()
+                                    ? 1
+                                    : frequent.guaranteed.front().key;
+  std::printf("IsElementFrequent(%llu, 0.5%%) = %s\n",
+              static_cast<unsigned long long>(probe),
+              queries.IsElementFrequent(probe, 0.005) ? "yes" : "no");
+  std::printf("IsElementInTopK(%llu, 10)     = %s\n",
+              static_cast<unsigned long long>(probe),
+              queries.IsElementInTopK(probe, 10) ? "yes" : "no");
+  return 0;
+}

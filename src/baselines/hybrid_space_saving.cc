@@ -1,0 +1,96 @@
+#include "baselines/hybrid_space_saving.h"
+
+#include <cassert>
+
+namespace cots {
+
+Status HybridSpaceSavingOptions::Validate() const {
+  if (global_capacity == 0) {
+    return Status::InvalidArgument("global_capacity must be positive");
+  }
+  if (local_capacity == 0) {
+    return Status::InvalidArgument("local_capacity must be positive");
+  }
+  if (flush_interval == 0) {
+    return Status::InvalidArgument("flush_interval must be positive");
+  }
+  if (num_threads <= 0) {
+    return Status::InvalidArgument("num_threads must be positive");
+  }
+  return Status::OK();
+}
+
+namespace {
+
+SharedSpaceSavingOptions GlobalOptions(const HybridSpaceSavingOptions& opt) {
+  SharedSpaceSavingOptions gopt;
+  gopt.capacity = opt.global_capacity;
+  return gopt;
+}
+
+}  // namespace
+
+HybridSpaceSaving::HybridSpaceSaving(const HybridSpaceSavingOptions& options)
+    : options_(options),
+      global_(GlobalOptions(options)),
+      caches_(static_cast<size_t>(options.num_threads)) {
+  assert(options_.global_capacity > 0 && "Validate() the options first");
+}
+
+void HybridSpaceSaving::Offer(ElementId e, int thread_id) {
+  LocalCache& cache = caches_[static_cast<size_t>(thread_id)];
+  auto it = cache.pending.find(e);
+  if (it != cache.pending.end()) {
+    ++it->second;
+    ++cache.hits;
+  } else {
+    if (cache.pending.size() >= options_.local_capacity) {
+      // Cache full: flush everything. This is the uniform-distribution
+      // degeneration — constant flushing makes the hybrid behave like the
+      // shared design with extra bookkeeping.
+      Flush(thread_id);
+    }
+    cache.pending.emplace(e, 1);
+  }
+  if (++cache.offers_since_flush >= options_.flush_interval) {
+    Flush(thread_id);
+  }
+}
+
+void HybridSpaceSaving::Flush(int thread_id) {
+  LocalCache& cache = caches_[static_cast<size_t>(thread_id)];
+  for (const auto& [key, delta] : cache.pending) {
+    global_.Offer(key, thread_id, nullptr, delta);
+  }
+  cache.pending.clear();
+  cache.offers_since_flush = 0;
+}
+
+void HybridSpaceSaving::FlushAll() {
+  for (int t = 0; t < options_.num_threads; ++t) Flush(t);
+}
+
+CounterSet HybridSpaceSaving::Snapshot() const {
+  CounterSet acc = CounterSet::FromSummary(global_, global_.MinFreq());
+  for (const LocalCache& cache : caches_) {
+    if (cache.pending.empty()) continue;
+    std::vector<Counter> pending;
+    pending.reserve(cache.pending.size());
+    uint64_t local_n = 0;
+    for (const auto& [key, delta] : cache.pending) {
+      pending.push_back(Counter{key, delta, 0});
+      local_n += delta;
+    }
+    acc = CombineCounterSets(acc, CounterSet(std::move(pending), 0, local_n),
+                             options_.global_capacity);
+  }
+  return acc;
+}
+
+uint64_t HybridSpaceSaving::cache_hits() const {
+  uint64_t total = 0;
+  for (const LocalCache& cache : caches_) total += cache.hits;
+  return total;
+}
+
+}  // namespace cots

@@ -1,0 +1,114 @@
+#include "baselines/independent_space_saving.h"
+
+#include <algorithm>
+#include <barrier>
+#include <cassert>
+#include <cmath>
+#include <thread>
+
+namespace cots {
+
+Status IndependentSpaceSavingOptions::Validate() {
+  if (capacity == 0) {
+    if (epsilon <= 0.0 || epsilon >= 1.0) {
+      return Status::InvalidArgument(
+          "either capacity > 0 or epsilon in (0, 1) is required");
+    }
+    capacity = static_cast<size_t>(std::ceil(1.0 / epsilon));
+  }
+  if (num_threads <= 0) {
+    return Status::InvalidArgument("num_threads must be positive");
+  }
+  if (query_interval == 0) {
+    return Status::InvalidArgument("query_interval must be positive");
+  }
+  return Status::OK();
+}
+
+IndependentSpaceSaving::IndependentSpaceSaving(
+    const IndependentSpaceSavingOptions& options)
+    : options_(options) {
+  assert(options_.capacity > 0 && "Validate() the options first");
+  for (int t = 0; t < options_.num_threads; ++t) {
+    SpaceSavingOptions sso;
+    sso.capacity = options_.capacity;
+    locals_.push_back(std::make_unique<SpaceSaving>(sso));
+  }
+}
+
+CounterSet IndependentSpaceSaving::MergeAll() const {
+  std::vector<const FrequencySummary*> views;
+  std::vector<uint64_t> mins;
+  views.reserve(locals_.size());
+  for (const auto& local : locals_) {
+    views.push_back(local.get());
+    mins.push_back(local->MinFreq());
+  }
+  switch (options_.merge_strategy) {
+    case MergeStrategy::kSerial:
+      return MergeSerial(views, mins, options_.capacity);
+    case MergeStrategy::kHierarchical:
+      return MergeHierarchical(views, mins, options_.capacity);
+  }
+  return CounterSet();
+}
+
+IndependentRunResult IndependentSpaceSaving::Run(const Stream& stream,
+                                                 PhaseProfiler* profiler) {
+  const int p = options_.num_threads;
+  const uint64_t q = options_.query_interval;
+  IndependentRunResult result;
+  result.elements_processed = stream.size();
+
+  // Round r covers stream[r*q, min((r+1)*q, n)); thread t counts the t-th
+  // of p contiguous slices of the round. After each full round the workers
+  // meet at the barrier and thread 0 merges (serial) or the merge itself
+  // spawns the tree (hierarchical).
+  const uint64_t n = stream.size();
+  const uint64_t rounds = (n + q - 1) / q;
+
+  std::barrier round_barrier(p);
+  std::vector<std::thread> workers;
+  workers.reserve(p);
+
+  // Written by thread 0 at the last merge; read after join.
+  CounterSet final_merge;
+  uint64_t merges = 0;
+
+  for (int t = 0; t < p; ++t) {
+    workers.emplace_back([&, t] {
+      SpaceSaving* local = locals_[static_cast<size_t>(t)].get();
+      for (uint64_t r = 0; r < rounds; ++r) {
+        const uint64_t round_begin = r * q;
+        const uint64_t round_end = std::min(n, round_begin + q);
+        const uint64_t len = round_end - round_begin;
+        const uint64_t slice = len / static_cast<uint64_t>(p);
+        const uint64_t begin =
+            round_begin + slice * static_cast<uint64_t>(t);
+        const uint64_t end =
+            (t == p - 1) ? round_end : begin + slice;
+        {
+          ScopedPhase phase(profiler, t, IndependentPhases::kCounting);
+          for (uint64_t i = begin; i < end; ++i) local->Offer(stream[i]);
+        }
+        {
+          // Barrier wait + the merge itself: the serialized fraction.
+          ScopedPhase phase(profiler, t, IndependentPhases::kMerge);
+          round_barrier.arrive_and_wait();
+          if (t == 0) {
+            final_merge = MergeAll();
+            ++merges;
+          }
+          round_barrier.arrive_and_wait();
+        }
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+
+  result.merged = std::move(final_merge);
+  result.merges_performed = merges;
+  return result;
+}
+
+}  // namespace cots

@@ -1,0 +1,306 @@
+#include "baselines/shared_space_saving.h"
+
+#include <algorithm>
+#include <cassert>
+#include <type_traits>
+#include <cmath>
+#include <thread>
+
+namespace cots {
+
+Status SharedSpaceSavingOptions::Validate() {
+  if (capacity == 0) {
+    if (epsilon <= 0.0 || epsilon >= 1.0) {
+      return Status::InvalidArgument(
+          "either capacity > 0 or epsilon in (0, 1) is required");
+    }
+    capacity = static_cast<size_t>(std::ceil(1.0 / epsilon));
+  }
+  if (shards == 0) {
+    return Status::InvalidArgument("shards must be positive");
+  }
+  return Status::OK();
+}
+
+template <typename Mutex>
+SharedSpaceSaving<Mutex>::SharedSpaceSaving(
+    const SharedSpaceSavingOptions& options)
+    : capacity_(options.capacity), shards_(options.shards) {
+  assert(capacity_ > 0 && "call SharedSpaceSavingOptions::Validate() first");
+}
+
+template <typename Mutex>
+SharedSpaceSaving<Mutex>::~SharedSpaceSaving() {
+  Bucket* b = min_;
+  while (b != nullptr) {
+    Node* n = b->head;
+    while (n != nullptr) {
+      Node* next = n->next;
+      delete n;
+      n = next;
+    }
+    Bucket* next = b->next;
+    delete b;
+    b = next;
+  }
+}
+
+template <typename Mutex>
+typename SharedSpaceSaving<Mutex>::Entry*
+SharedSpaceSaving<Mutex>::AcquireElement(ElementId e, int thread_id,
+                                         PhaseProfiler* profiler) {
+  ScopedPhase phase(profiler, thread_id, SharedPhases::kHashOpns);
+  Shard& shard = ShardFor(e);
+  std::unique_lock<Mutex> lock(shard.mu);
+  Entry& entry = shard.map[e];  // creates a placeholder for new elements
+  if (entry.busy) {
+    ++entry.waiters;
+    if constexpr (std::is_same_v<Mutex, std::mutex>) {
+      // pthread-mutex flavour: block on the shard condition variable.
+      shard.cv.wait(lock, [&entry] { return !entry.busy; });
+    } else {
+      // Spin-lock flavour: busy-wait, the behaviour whose extra CPU
+      // contention the paper calls out in Section 4.3.
+      while (entry.busy) {
+        lock.unlock();
+        CpuRelax();
+        std::this_thread::yield();
+        lock.lock();
+      }
+    }
+    --entry.waiters;
+  }
+  entry.busy = true;
+  return &entry;
+}
+
+template <typename Mutex>
+void SharedSpaceSaving<Mutex>::ReleaseElement(ElementId e) {
+  Shard& shard = ShardFor(e);
+  {
+    std::unique_lock<Mutex> lock(shard.mu);
+    auto it = shard.map.find(e);
+    assert(it != shard.map.end());
+    it->second.busy = false;
+  }
+  if constexpr (std::is_same_v<Mutex, std::mutex>) {
+    shard.cv.notify_all();
+  }
+}
+
+template <typename Mutex>
+void SharedSpaceSaving<Mutex>::AttachLocked(Node* node, uint64_t freq,
+                                            Bucket* hint, int thread_id,
+                                            PhaseProfiler* profiler) {
+  Bucket* at = hint != nullptr ? hint : min_;
+  Bucket* below = nullptr;
+  while (at != nullptr && at->freq <= freq) {
+    below = at;
+    at = at->next;
+  }
+  Bucket* dest;
+  if (below != nullptr && below->freq == freq) {
+    dest = below;
+  } else {
+    dest = new Bucket;
+    dest->freq = freq;
+    dest->prev = below;
+    dest->next = below == nullptr ? min_ : below->next;
+    if (dest->prev != nullptr) dest->prev->next = dest;
+    if (dest->next != nullptr) dest->next->prev = dest;
+    if (dest->prev == nullptr) min_ = dest;
+    if (dest->next == nullptr) max_ = dest;
+  }
+  {
+    ScopedPhase phase(profiler, thread_id, SharedPhases::kBucketLocks);
+    dest->mu.lock();
+  }
+  node->bucket = dest;
+  node->prev = nullptr;
+  node->next = dest->head;
+  if (dest->head != nullptr) dest->head->prev = node;
+  dest->head = node;
+  ++dest->size;
+  dest->mu.unlock();
+}
+
+template <typename Mutex>
+void SharedSpaceSaving<Mutex>::DetachLocked(Node* node, int thread_id,
+                                            PhaseProfiler* profiler) {
+  Bucket* bucket = node->bucket;
+  {
+    ScopedPhase phase(profiler, thread_id, SharedPhases::kBucketLocks);
+    bucket->mu.lock();
+  }
+  if (node->prev != nullptr) node->prev->next = node->next;
+  if (node->next != nullptr) node->next->prev = node->prev;
+  if (bucket->head == node) bucket->head = node->next;
+  node->prev = node->next = nullptr;
+  node->bucket = nullptr;
+  const bool empty = --bucket->size == 0;
+  bucket->mu.unlock();
+  if (empty) {
+    if (bucket->prev != nullptr) bucket->prev->next = bucket->next;
+    if (bucket->next != nullptr) bucket->next->prev = bucket->prev;
+    if (min_ == bucket) min_ = bucket->next;
+    if (max_ == bucket) max_ = bucket->prev;
+    delete bucket;
+  }
+}
+
+template <typename Mutex>
+typename SharedSpaceSaving<Mutex>::Node*
+SharedSpaceSaving<Mutex>::StealVictimLocked(int thread_id,
+                                            PhaseProfiler* profiler) {
+  (void)thread_id;
+  (void)profiler;
+  assert(min_ != nullptr);
+  for (Node* candidate = min_->head; candidate != nullptr;
+       candidate = candidate->next) {
+    Shard& shard = ShardFor(candidate->key);
+    std::unique_lock<Mutex> lock(shard.mu);
+    auto it = shard.map.find(candidate->key);
+    assert(it != shard.map.end());
+    if (!it->second.busy && it->second.waiters == 0) {
+      // Safe to evict: nobody is processing this element, nobody is parked
+      // on its entry, and because we hold the topology lock nobody can
+      // start a structure operation for it before the overwrite completes.
+      shard.map.erase(it);
+      return candidate;
+    }
+  }
+  return nullptr;  // every min-bucket element is being processed right now
+}
+
+template <typename Mutex>
+void SharedSpaceSaving<Mutex>::Offer(ElementId e, int thread_id,
+                                     PhaseProfiler* profiler,
+                                     uint64_t weight) {
+  assert(weight > 0);
+  n_.fetch_add(weight, std::memory_order_relaxed);
+  Entry* entry = AcquireElement(e, thread_id, profiler);
+
+  if (entry->node != nullptr) {
+    // IncrementCounter: relocate between frequency buckets.
+    ScopedPhase phase(profiler, thread_id, SharedPhases::kStructureOpns);
+    std::unique_lock<Mutex> topo(topology_mu_);
+    Node* node = entry->node;
+    const uint64_t target = node->bucket->freq + weight;
+    Bucket* hint = node->bucket->size == 1 ? node->bucket->prev : node->bucket;
+    DetachLocked(node, thread_id, profiler);
+    AttachLocked(node, target, hint, thread_id, profiler);
+  } else {
+    // New element: needs the minimum-frequency pointer.
+    for (;;) {
+      std::unique_lock<Mutex> topo;
+      {
+        ScopedPhase phase(profiler, thread_id, SharedPhases::kMinMaxLocks);
+        topo = std::unique_lock<Mutex>(topology_mu_);
+      }
+      ScopedPhase phase(profiler, thread_id, SharedPhases::kStructureOpns);
+      if (size_ < capacity_) {
+        Node* node = new Node;
+        node->key = e;
+        node->error = 0;
+        AttachLocked(node, weight, nullptr, thread_id, profiler);
+        ++size_;
+        entry->node = node;
+        break;
+      }
+      Node* victim = StealVictimLocked(thread_id, profiler);
+      if (victim != nullptr) {
+        const uint64_t min_freq = victim->bucket->freq;
+        Bucket* hint =
+            victim->bucket->size == 1 ? victim->bucket->prev : victim->bucket;
+        DetachLocked(victim, thread_id, profiler);
+        victim->key = e;
+        victim->error = min_freq;
+        AttachLocked(victim, min_freq + weight, hint, thread_id, profiler);
+        entry->node = victim;
+        break;
+      }
+      // Every candidate in the minimum bucket is mid-flight; release the
+      // topology so their owners can finish, then retry.
+      topo.unlock();
+      std::this_thread::yield();
+    }
+  }
+  ReleaseElement(e);
+}
+
+template <typename Mutex>
+std::optional<Counter> SharedSpaceSaving<Mutex>::Lookup(ElementId e) const {
+  // Lock order everywhere is topology -> shard (the overwrite path uses the
+  // same order); taking them in the opposite order here would deadlock.
+  std::unique_lock<Mutex> topo(topology_mu_);
+  Shard& shard = ShardFor(e);
+  std::unique_lock<Mutex> lock(shard.mu);
+  auto it = shard.map.find(e);
+  if (it == shard.map.end() || it->second.node == nullptr) return std::nullopt;
+  const Node* node = it->second.node;
+  return Counter{e, node->bucket->freq, node->error};
+}
+
+template <typename Mutex>
+std::vector<Counter> SharedSpaceSaving<Mutex>::CountersDescending() const {
+  std::vector<Counter> out;
+  std::unique_lock<Mutex> topo(topology_mu_);
+  for (Bucket* b = max_; b != nullptr; b = b->prev) {
+    std::unique_lock<Mutex> bucket_lock(b->mu);
+    const size_t start = out.size();
+    for (const Node* n = b->head; n != nullptr; n = n->next) {
+      out.push_back(Counter{n->key, b->freq, n->error});
+    }
+    std::sort(out.begin() + static_cast<long>(start), out.end(),
+              [](const Counter& a, const Counter& b2) { return a.key < b2.key; });
+  }
+  return out;
+}
+
+template <typename Mutex>
+size_t SharedSpaceSaving<Mutex>::num_counters() const {
+  std::unique_lock<Mutex> topo(topology_mu_);
+  return size_;
+}
+
+template <typename Mutex>
+uint64_t SharedSpaceSaving<Mutex>::MinFreq() const {
+  std::unique_lock<Mutex> topo(topology_mu_);
+  if (size_ < capacity_ || min_ == nullptr) return 0;
+  return min_->freq;
+}
+
+template <typename Mutex>
+bool SharedSpaceSaving<Mutex>::CheckInvariants() const {
+  std::unique_lock<Mutex> topo(topology_mu_);
+  uint64_t total = 0;
+  size_t nodes = 0;
+  Bucket* prev = nullptr;
+  for (Bucket* b = min_; b != nullptr; b = b->next) {
+    if (b->prev != prev) return false;
+    if (prev != nullptr && prev->freq >= b->freq) return false;
+    if (b->head == nullptr || b->size == 0) return false;
+    size_t in_bucket = 0;
+    const Node* prev_node = nullptr;
+    for (const Node* n = b->head; n != nullptr; n = n->next) {
+      if (n->bucket != b) return false;
+      if (n->prev != prev_node) return false;
+      if (n->error > b->freq) return false;
+      total += b->freq;
+      ++in_bucket;
+      prev_node = n;
+    }
+    if (in_bucket != b->size) return false;
+    nodes += in_bucket;
+    prev = b;
+  }
+  if (max_ != prev) return false;
+  if (nodes != size_) return false;
+  if (size_ > capacity_) return false;
+  return total == n_.load();
+}
+
+template class SharedSpaceSaving<std::mutex>;
+template class SharedSpaceSaving<SpinLock>;
+
+}  // namespace cots

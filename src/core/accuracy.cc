@@ -1,0 +1,67 @@
+#include "core/accuracy.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "core/query.h"
+
+namespace cots {
+
+AccuracyReport EvaluateAccuracy(const FrequencySummary& summary,
+                                const ExactCounter& exact,
+                                const AccuracyOptions& options) {
+  AccuracyReport report;
+  report.monitored = summary.num_counters();
+
+  // Per-element estimate quality over everything monitored.
+  for (const Counter& c : summary.CountersDescending()) {
+    const uint64_t truth = exact.Count(c.key);
+    if (c.count < truth) ++report.underestimates;
+    if (c.count > truth) {
+      report.max_overestimate =
+          std::max(report.max_overestimate, c.count - truth);
+    }
+    if (truth < c.GuaranteedCount()) ++report.bound_violations;
+  }
+
+  // Frequent-set precision/recall at phi.
+  const uint64_t threshold = static_cast<uint64_t>(
+      std::floor(options.phi * static_cast<double>(exact.stream_length())));
+  std::vector<ElementId> true_frequent = exact.FrequentElements(threshold);
+  QueryEngine engine(&summary);
+  FrequentSetResult reported = engine.FrequentElements(options.phi);
+  std::unordered_set<ElementId> reported_set;
+  for (const Counter& c : reported.guaranteed) reported_set.insert(c.key);
+  for (const Counter& c : reported.potential) reported_set.insert(c.key);
+
+  if (!reported_set.empty() || !true_frequent.empty()) {
+    size_t hits = 0;
+    for (ElementId e : true_frequent) hits += reported_set.count(e);
+    report.recall = true_frequent.empty()
+                        ? 1.0
+                        : static_cast<double>(hits) /
+                              static_cast<double>(true_frequent.size());
+    report.precision = reported_set.empty()
+                           ? 1.0
+                           : static_cast<double>(hits) /
+                                 static_cast<double>(reported_set.size());
+  }
+
+  // Average relative error over the true top-k.
+  std::vector<ElementId> top = exact.TopK(options.top_k);
+  if (!top.empty()) {
+    double sum = 0.0;
+    for (ElementId e : top) {
+      const uint64_t truth = exact.Count(e);
+      std::optional<Counter> c = summary.Lookup(e);
+      const uint64_t est = c.has_value() ? c->count : 0;
+      const uint64_t diff = est > truth ? est - truth : truth - est;
+      sum += static_cast<double>(diff) / static_cast<double>(truth);
+    }
+    report.avg_relative_error = sum / static_cast<double>(top.size());
+  }
+  return report;
+}
+
+}  // namespace cots

@@ -1,0 +1,52 @@
+// Copyright (c) the CoTS reproduction authors.
+//
+// Accuracy evaluation of approximate summaries against exact ground truth.
+// Used by the property tests and the accuracy_report bench to validate that
+// every engine (sequential, baselines, CoTS) preserves the Space Saving
+// guarantees of Section 3.3 regardless of thread count.
+
+#ifndef COTS_CORE_ACCURACY_H_
+#define COTS_CORE_ACCURACY_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "core/counter.h"
+#include "stream/exact_counter.h"
+
+namespace cots {
+
+struct AccuracyReport {
+  /// Frequent-set quality at the evaluated threshold.
+  double precision = 1.0;
+  double recall = 1.0;
+  /// Average of |est - true| / true over the true top-k elements.
+  double avg_relative_error = 0.0;
+  /// Largest over-estimation observed over all monitored elements.
+  uint64_t max_overestimate = 0;
+  /// Number of monitored elements whose estimate fell below their true
+  /// count (must stay 0 for over-estimating algorithms like Space Saving).
+  size_t underestimates = 0;
+  /// Number of monitored elements where true < count - error, i.e. the
+  /// per-element error bound lied (must stay 0).
+  size_t bound_violations = 0;
+  size_t monitored = 0;
+};
+
+struct AccuracyOptions {
+  /// Frequent-elements threshold as a fraction of N (paper's example:
+  /// "clicked more than 0.1% of total clicks" = 0.001).
+  double phi = 0.001;
+  /// How many of the true most-frequent elements enter the relative-error
+  /// average.
+  size_t top_k = 100;
+};
+
+/// Compares a summary against exact counts for the same stream.
+AccuracyReport EvaluateAccuracy(const FrequencySummary& summary,
+                                const ExactCounter& exact,
+                                const AccuracyOptions& options);
+
+}  // namespace cots
+
+#endif  // COTS_CORE_ACCURACY_H_

@@ -1,0 +1,66 @@
+#include "core/continuous_monitor.h"
+
+#include <chrono>
+
+#include "util/stopwatch.h"
+
+namespace cots {
+
+Status ContinuousMonitorOptions::Validate() const {
+  if ((every_updates == 0) == (every_micros == 0)) {
+    return Status::InvalidArgument(
+        "exactly one of every_updates / every_micros must be set");
+  }
+  return Status::OK();
+}
+
+ContinuousMonitor::ContinuousMonitor(const FrequencySummary* summary,
+                                     const ContinuousMonitorOptions& options,
+                                     Callback callback)
+    : summary_(summary),
+      options_(options),
+      callback_(std::move(callback)) {}
+
+ContinuousMonitor::~ContinuousMonitor() { Stop(); }
+
+void ContinuousMonitor::Start() {
+  bool expected = false;
+  if (!running_.compare_exchange_strong(expected, true)) return;
+  thread_ = std::thread([this] { Loop(); });
+}
+
+void ContinuousMonitor::Stop() {
+  if (!running_.exchange(false)) return;
+  if (thread_.joinable()) thread_.join();
+}
+
+void ContinuousMonitor::Loop() {
+  QueryEngine queries(summary_);
+  uint64_t last_interval = 0;
+  uint64_t last_fire_nanos = NowNanos();
+  while (running_.load(std::memory_order_relaxed)) {
+    bool due = false;
+    uint64_t n = summary_->stream_length();
+    if (options_.every_updates != 0) {
+      const uint64_t interval = n / options_.every_updates;
+      if (interval > last_interval) {
+        last_interval = interval;
+        due = true;
+      }
+    } else {
+      const uint64_t now = NowNanos();
+      if (now - last_fire_nanos >= options_.every_micros * 1000) {
+        last_fire_nanos = now;
+        due = true;
+      }
+    }
+    if (due) {
+      callback_(queries, n);
+      fired_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      std::this_thread::yield();
+    }
+  }
+}
+
+}  // namespace cots

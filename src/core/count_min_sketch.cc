@@ -1,0 +1,59 @@
+#include "core/count_min_sketch.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "util/random.h"
+
+namespace cots {
+
+Status CountMinSketchOptions::Validate() const {
+  if (epsilon <= 0.0 || epsilon >= 1.0) {
+    return Status::InvalidArgument("epsilon must be in (0, 1)");
+  }
+  if (delta <= 0.0 || delta >= 1.0) {
+    return Status::InvalidArgument("delta must be in (0, 1)");
+  }
+  return Status::OK();
+}
+
+CountMinSketch::CountMinSketch(const CountMinSketchOptions& options)
+    : width_(static_cast<size_t>(
+          std::ceil(std::exp(1.0) / options.epsilon))),
+      depth_(static_cast<size_t>(
+          std::ceil(std::log(1.0 / options.delta)))) {
+  assert(options.Validate().ok());
+  if (depth_ == 0) depth_ = 1;
+  table_.assign(width_ * depth_, 0);
+  SplitMix64 seeder(options.seed);
+  row_seeds_.reserve(depth_);
+  for (size_t d = 0; d < depth_; ++d) row_seeds_.push_back(seeder.Next());
+}
+
+size_t CountMinSketch::CellIndex(size_t row, ElementId e) const {
+  // Per-row seeded finalizer-strength mixing.
+  uint64_t h = e ^ row_seeds_[row];
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
+  h *= 0xc4ceb9fe1a85ec53ULL;
+  h ^= h >> 33;
+  return row * width_ + static_cast<size_t>(h % width_);
+}
+
+void CountMinSketch::Offer(ElementId e, uint64_t weight) {
+  n_ += weight;
+  // The per-element cost the paper calls out: one hash + one write per row.
+  for (size_t d = 0; d < depth_; ++d) table_[CellIndex(d, e)] += weight;
+}
+
+uint64_t CountMinSketch::Estimate(ElementId e) const {
+  uint64_t best = ~uint64_t{0};
+  for (size_t d = 0; d < depth_; ++d) {
+    best = std::min(best, table_[CellIndex(d, e)]);
+  }
+  return best == ~uint64_t{0} ? 0 : best;
+}
+
+}  // namespace cots

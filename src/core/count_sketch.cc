@@ -1,0 +1,62 @@
+#include "core/count_sketch.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/random.h"
+
+namespace cots {
+
+Status CountSketchOptions::Validate() const {
+  if (width == 0) return Status::InvalidArgument("width must be positive");
+  if (depth == 0) return Status::InvalidArgument("depth must be positive");
+  return Status::OK();
+}
+
+CountSketch::CountSketch(const CountSketchOptions& options)
+    : width_(options.width), depth_(options.depth) {
+  assert(options.Validate().ok());
+  table_.assign(width_ * depth_, 0);
+  SplitMix64 seeder(options.seed);
+  row_seeds_.reserve(depth_);
+  for (size_t d = 0; d < depth_; ++d) row_seeds_.push_back(seeder.Next());
+}
+
+uint64_t CountSketch::RowHash(size_t row, ElementId e) const {
+  uint64_t h = e ^ row_seeds_[row];
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
+  h *= 0xc4ceb9fe1a85ec53ULL;
+  h ^= h >> 33;
+  return h;
+}
+
+void CountSketch::Offer(ElementId e, uint64_t weight) {
+  n_ += weight;
+  for (size_t d = 0; d < depth_; ++d) {
+    const uint64_t h = RowHash(d, e);
+    // Low bits pick the cell, a high bit picks the sign: the "two hash
+    // functions per row" cost is paid with one mix.
+    const size_t cell = d * width_ + static_cast<size_t>(h % width_);
+    const int64_t sign = (h >> 63) != 0 ? 1 : -1;
+    table_[cell] += sign * static_cast<int64_t>(weight);
+  }
+}
+
+uint64_t CountSketch::Estimate(ElementId e) const {
+  std::vector<int64_t> votes;
+  votes.reserve(depth_);
+  for (size_t d = 0; d < depth_; ++d) {
+    const uint64_t h = RowHash(d, e);
+    const size_t cell = d * width_ + static_cast<size_t>(h % width_);
+    const int64_t sign = (h >> 63) != 0 ? 1 : -1;
+    votes.push_back(sign * table_[cell]);
+  }
+  std::nth_element(votes.begin(), votes.begin() + static_cast<long>(depth_ / 2),
+                   votes.end());
+  const int64_t median = votes[depth_ / 2];
+  return median < 0 ? 0 : static_cast<uint64_t>(median);
+}
+
+}  // namespace cots

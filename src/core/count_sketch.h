@@ -1,0 +1,64 @@
+// Copyright (c) the CoTS reproduction authors.
+//
+// Count Sketch (Charikar, Chen, Farach-Colton — reference [3] of the
+// paper). The second sketch the related-work section cites. Differs from
+// Count-Min by a random +/-1 sign per (row, element): estimates are
+// unbiased with two-sided error proportional to the stream's L2 norm
+// (rather than one-sided eps*N), taken as the median across rows. Costs
+// two hash evaluations per row per element — the "processing cost per
+// element is also high" end of the paper's comparison.
+
+#ifndef COTS_CORE_COUNT_SKETCH_H_
+#define COTS_CORE_COUNT_SKETCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "stream/stream.h"
+#include "util/macros.h"
+#include "util/status.h"
+
+namespace cots {
+
+struct CountSketchOptions {
+  /// Counters per row.
+  size_t width = 2048;
+  /// Rows; the estimate is the median across them (odd values work best).
+  size_t depth = 5;
+  uint64_t seed = 11;
+
+  Status Validate() const;
+};
+
+class CountSketch {
+ public:
+  explicit CountSketch(const CountSketchOptions& options);
+
+  COTS_DISALLOW_COPY_AND_ASSIGN(CountSketch);
+
+  void Offer(ElementId e, uint64_t weight = 1);
+
+  void Process(const Stream& stream) {
+    for (ElementId e : stream) Offer(e);
+  }
+
+  /// Unbiased point estimate (median of signed row counters); can be
+  /// negative for rare elements, clamped at 0.
+  uint64_t Estimate(ElementId e) const;
+
+  uint64_t stream_length() const { return n_; }
+  size_t cells() const { return table_.size(); }
+
+ private:
+  uint64_t RowHash(size_t row, ElementId e) const;
+
+  size_t width_;
+  size_t depth_;
+  uint64_t n_ = 0;
+  std::vector<uint64_t> row_seeds_;
+  std::vector<int64_t> table_;
+};
+
+}  // namespace cots
+
+#endif  // COTS_CORE_COUNT_SKETCH_H_

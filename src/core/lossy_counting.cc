@@ -1,0 +1,65 @@
+#include "core/lossy_counting.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cots {
+
+Status LossyCountingOptions::Validate() const {
+  if (epsilon <= 0.0 || epsilon >= 1.0) {
+    return Status::InvalidArgument("epsilon must be in (0, 1)");
+  }
+  return Status::OK();
+}
+
+LossyCounting::LossyCounting(const LossyCountingOptions& options)
+    : width_(static_cast<uint64_t>(std::ceil(1.0 / options.epsilon))) {}
+
+void LossyCounting::Offer(ElementId e, uint64_t weight) {
+  for (uint64_t i = 0; i < weight; ++i) {
+    ++n_;
+    auto it = entries_.find(e);
+    if (it != entries_.end()) {
+      ++it->second.count;
+    } else {
+      entries_.emplace(e, Entry{1, current_round_ - 1});
+    }
+    if (n_ % width_ == 0) EndRound();
+  }
+}
+
+void LossyCounting::EndRound() {
+  // Drop entries that cannot have true frequency above epsilon * N.
+  auto it = entries_.begin();
+  while (it != entries_.end()) {
+    if (it->second.count + it->second.delta <= current_round_) {
+      it = entries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  ++current_round_;
+}
+
+std::optional<Counter> LossyCounting::Lookup(ElementId e) const {
+  auto it = entries_.find(e);
+  if (it == entries_.end()) return std::nullopt;
+  // Report the upper-bound estimate (count + delta) so that, as with Space
+  // Saving, count is an over-estimate and error bounds the overshoot.
+  return Counter{e, it->second.count + it->second.delta, it->second.delta};
+}
+
+std::vector<Counter> LossyCounting::CountersDescending() const {
+  std::vector<Counter> out;
+  out.reserve(entries_.size());
+  for (const auto& [key, entry] : entries_) {
+    out.push_back(Counter{key, entry.count + entry.delta, entry.delta});
+  }
+  std::sort(out.begin(), out.end(), [](const Counter& a, const Counter& b) {
+    if (a.count != b.count) return a.count > b.count;
+    return a.key < b.key;
+  });
+  return out;
+}
+
+}  // namespace cots

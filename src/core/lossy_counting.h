@@ -1,0 +1,70 @@
+// Copyright (c) the CoTS reproduction authors.
+//
+// Sequential Lossy Counting (Manku & Motwani, VLDB 2002; paper Section 2 and
+// Section 5.3). The stream is split into rounds (buckets) of width
+// w = ceil(1/epsilon); entries are (count, delta) where delta bounds the
+// count missed before the entry was (re-)admitted. At each round boundary,
+// entries with count + delta <= current_round are dropped. Space is
+// O((1/epsilon) * log(epsilon * N)).
+//
+// Implemented here because the paper's generality claim (Section 5.3) is
+// that CoTS accommodates any counter-based algorithm with monotonically
+// increasing frequencies; cots/cots_lossy_counting.* is the parallel
+// adaptation and this is its sequential reference.
+
+#ifndef COTS_CORE_LOSSY_COUNTING_H_
+#define COTS_CORE_LOSSY_COUNTING_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "core/counter.h"
+#include "util/macros.h"
+#include "util/status.h"
+
+namespace cots {
+
+struct LossyCountingOptions {
+  double epsilon = 0.001;
+
+  Status Validate() const;
+};
+
+class LossyCounting : public FrequencySummary {
+ public:
+  explicit LossyCounting(const LossyCountingOptions& options);
+
+  COTS_DISALLOW_COPY_AND_ASSIGN(LossyCounting);
+
+  void Offer(ElementId e, uint64_t weight = 1);
+
+  void Process(const Stream& stream) {
+    for (ElementId e : stream) Offer(e);
+  }
+
+  // FrequencySummary:
+  std::optional<Counter> Lookup(ElementId e) const override;
+  std::vector<Counter> CountersDescending() const override;
+  uint64_t stream_length() const override { return n_; }
+  size_t num_counters() const override { return entries_.size(); }
+
+  uint64_t bucket_width() const { return width_; }
+  uint64_t current_round() const { return current_round_; }
+
+ private:
+  struct Entry {
+    uint64_t count;
+    uint64_t delta;
+  };
+
+  void EndRound();
+
+  uint64_t width_;
+  uint64_t n_ = 0;
+  uint64_t current_round_ = 1;
+  std::unordered_map<ElementId, Entry> entries_;
+};
+
+}  // namespace cots
+
+#endif  // COTS_CORE_LOSSY_COUNTING_H_

@@ -1,0 +1,69 @@
+#include "core/misra_gries.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace cots {
+
+Status MisraGriesOptions::Validate() const {
+  if (capacity == 0) {
+    return Status::InvalidArgument("capacity must be positive");
+  }
+  return Status::OK();
+}
+
+MisraGries::MisraGries(const MisraGriesOptions& options)
+    : capacity_(options.capacity) {
+  counts_.reserve(capacity_ * 2);
+}
+
+void MisraGries::Offer(ElementId e, uint64_t weight) {
+  assert(weight > 0);
+  n_ += weight;
+  auto it = counts_.find(e);
+  if (it != counts_.end()) {
+    it->second += weight;
+    return;
+  }
+  if (counts_.size() < capacity_) {
+    counts_.emplace(e, weight);
+    return;
+  }
+  // Decrement-all. With a weighted arrival, decrement by the largest amount
+  // that keeps the arriving element's residual weight non-negative.
+  uint64_t min_count = weight;
+  for (const auto& [key, count] : counts_) min_count = std::min(min_count, count);
+  decrements_ += min_count;
+  auto jt = counts_.begin();
+  while (jt != counts_.end()) {
+    jt->second -= min_count;
+    if (jt->second == 0) {
+      jt = counts_.erase(jt);
+    } else {
+      ++jt;
+    }
+  }
+  if (weight > min_count) counts_.emplace(e, weight - min_count);
+}
+
+std::optional<Counter> MisraGries::Lookup(ElementId e) const {
+  auto it = counts_.find(e);
+  if (it == counts_.end()) return std::nullopt;
+  // Misra-Gries under-estimates; error records the maximum undershoot.
+  return Counter{e, it->second, decrements_};
+}
+
+std::vector<Counter> MisraGries::CountersDescending() const {
+  std::vector<Counter> out;
+  out.reserve(counts_.size());
+  for (const auto& [key, count] : counts_) {
+    out.push_back(Counter{key, count, decrements_});
+  }
+  std::sort(out.begin(), out.end(), [](const Counter& a, const Counter& b) {
+    if (a.count != b.count) return a.count > b.count;
+    return a.key < b.key;
+  });
+  return out;
+}
+
+}  // namespace cots

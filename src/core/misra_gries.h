@@ -1,0 +1,60 @@
+// Copyright (c) the CoTS reproduction authors.
+//
+// The Frequent algorithm (Misra & Gries; rediscovered by Demaine,
+// Lopez-Ortiz & Munro — reference [9] of the paper). Maintains at most k
+// counters; a new element with no free counter decrements every counter and
+// evicts the zeros. Guarantees est(e) <= true(e) <= est(e) + N/(k+1): unlike
+// Space Saving it *under*-estimates. Included as the third counter-based
+// technique for the accuracy comparison benches.
+
+#ifndef COTS_CORE_MISRA_GRIES_H_
+#define COTS_CORE_MISRA_GRIES_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "core/counter.h"
+#include "util/macros.h"
+#include "util/status.h"
+
+namespace cots {
+
+struct MisraGriesOptions {
+  /// Number of counters (k). Elements with true frequency > N/(k+1) are
+  /// guaranteed to be monitored at the end of the stream.
+  size_t capacity = 1000;
+
+  Status Validate() const;
+};
+
+class MisraGries : public FrequencySummary {
+ public:
+  explicit MisraGries(const MisraGriesOptions& options);
+
+  COTS_DISALLOW_COPY_AND_ASSIGN(MisraGries);
+
+  void Offer(ElementId e, uint64_t weight = 1);
+
+  void Process(const Stream& stream) {
+    for (ElementId e : stream) Offer(e);
+  }
+
+  // FrequencySummary:
+  std::optional<Counter> Lookup(ElementId e) const override;
+  std::vector<Counter> CountersDescending() const override;
+  uint64_t stream_length() const override { return n_; }
+  size_t num_counters() const override { return counts_.size(); }
+
+  /// Total decrement applied so far; est(e) + decrements_ >= true(e).
+  uint64_t total_decrements() const { return decrements_; }
+
+ private:
+  size_t capacity_;
+  uint64_t n_ = 0;
+  uint64_t decrements_ = 0;
+  std::unordered_map<ElementId, uint64_t> counts_;
+};
+
+}  // namespace cots
+
+#endif  // COTS_CORE_MISRA_GRIES_H_

@@ -1,0 +1,69 @@
+#include "core/query.h"
+
+#include <cmath>
+
+namespace cots {
+namespace {
+
+uint64_t Threshold(double phi, uint64_t n) {
+  return static_cast<uint64_t>(std::floor(phi * static_cast<double>(n)));
+}
+
+}  // namespace
+
+bool QueryEngine::IsElementFrequent(ElementId e, double phi) const {
+  std::optional<Counter> c = summary_->Lookup(e);
+  if (!c.has_value()) return false;
+  return c->count > Threshold(phi, summary_->stream_length());
+}
+
+bool QueryEngine::IsElementInTopK(ElementId e, size_t k) const {
+  std::optional<Counter> c = summary_->Lookup(e);
+  if (!c.has_value()) return false;
+  return c->count >= KthFrequency(k);
+}
+
+FrequentSetResult QueryEngine::FrequentElements(double phi) const {
+  const uint64_t threshold = Threshold(phi, summary_->stream_length());
+  FrequentSetResult result;
+  for (const Counter& c : summary_->CountersDescending()) {
+    if (c.count <= threshold) break;  // descending order: done
+    if (c.GuaranteedCount() > threshold) {
+      result.guaranteed.push_back(c);
+    } else {
+      result.potential.push_back(c);
+    }
+  }
+  return result;
+}
+
+std::vector<Counter> QueryEngine::TopK(size_t k) const {
+  std::vector<Counter> all = summary_->CountersDescending();
+  if (all.size() > k) all.resize(k);
+  return all;
+}
+
+QueryEngine::GuaranteedTopK QueryEngine::TopKWithGuarantee(size_t k) const {
+  GuaranteedTopK result;
+  std::vector<Counter> all = summary_->CountersDescending();
+  const uint64_t next_best = all.size() > k ? all[k].count : 0;
+  if (all.size() > k) all.resize(k);
+  result.guaranteed = true;
+  for (const Counter& c : all) {
+    if (c.GuaranteedCount() < next_best) {
+      result.guaranteed = false;
+      break;
+    }
+  }
+  result.elements = std::move(all);
+  return result;
+}
+
+uint64_t QueryEngine::KthFrequency(size_t k) const {
+  if (k == 0) return 0;
+  std::vector<Counter> all = summary_->CountersDescending();
+  if (all.size() < k) return 0;
+  return all[k - 1].count;
+}
+
+}  // namespace cots

@@ -1,0 +1,127 @@
+#include "core/stream_summary.h"
+
+#include <cassert>
+
+namespace cots {
+
+StreamSummary::~StreamSummary() {
+  Bucket* b = min_;
+  while (b != nullptr) {
+    Node* n = b->head;
+    while (n != nullptr) {
+      Node* next = n->next;
+      delete n;
+      n = next;
+    }
+    Bucket* next = b->next;
+    delete b;
+    b = next;
+  }
+}
+
+StreamSummary::Node* StreamSummary::Insert(ElementId key, uint64_t freq,
+                                           uint64_t error) {
+  Node* node = new Node;
+  node->key = key;
+  node->error = error;
+  Attach(node, freq, nullptr);
+  ++size_;
+  return node;
+}
+
+void StreamSummary::Increment(Node* node, uint64_t delta) {
+  assert(delta > 0);
+  const uint64_t target = node->bucket->freq + delta;
+  // Start searching from the bucket we are leaving: for delta == 1 (the
+  // overwhelmingly common case) the destination is this bucket's successor
+  // or a newly created neighbour, giving O(1) per element.
+  Bucket* hint = node->bucket;
+  const bool hint_dies = node->bucket->size == 1;
+  Bucket* hint_prev = hint->prev;
+  Detach(node);
+  Attach(node, target, hint_dies ? hint_prev : hint);
+}
+
+void StreamSummary::Erase(Node* node) {
+  Detach(node);
+  delete node;
+  --size_;
+}
+
+void StreamSummary::Detach(Node* node) {
+  Bucket* bucket = node->bucket;
+  if (node->prev != nullptr) node->prev->next = node->next;
+  if (node->next != nullptr) node->next->prev = node->prev;
+  if (bucket->head == node) bucket->head = node->next;
+  node->prev = node->next = nullptr;
+  node->bucket = nullptr;
+  if (--bucket->size == 0) {
+    if (bucket->prev != nullptr) bucket->prev->next = bucket->next;
+    if (bucket->next != nullptr) bucket->next->prev = bucket->prev;
+    if (min_ == bucket) min_ = bucket->next;
+    if (max_ == bucket) max_ = bucket->prev;
+    delete bucket;
+    --num_buckets_;
+  }
+}
+
+void StreamSummary::Attach(Node* node, uint64_t freq, Bucket* hint) {
+  // Find the highest bucket with bucket->freq <= freq, scanning up from the
+  // hint (or the minimum bucket when no hint survives).
+  Bucket* at = hint != nullptr ? hint : min_;
+  Bucket* below = nullptr;  // highest bucket with freq < target
+  while (at != nullptr && at->freq <= freq) {
+    below = at;
+    at = at->next;
+  }
+  Bucket* dest;
+  if (below != nullptr && below->freq == freq) {
+    dest = below;
+  } else {
+    dest = new Bucket;
+    dest->freq = freq;
+    dest->prev = below;
+    dest->next = below == nullptr ? min_ : below->next;
+    if (dest->prev != nullptr) dest->prev->next = dest;
+    if (dest->next != nullptr) dest->next->prev = dest;
+    if (dest->prev == nullptr) min_ = dest;
+    if (dest->next == nullptr) max_ = dest;
+    ++num_buckets_;
+  }
+  node->bucket = dest;
+  node->prev = nullptr;
+  node->next = dest->head;
+  if (dest->head != nullptr) dest->head->prev = node;
+  dest->head = node;
+  ++dest->size;
+}
+
+bool StreamSummary::CheckInvariants() const {
+  size_t nodes = 0;
+  size_t buckets = 0;
+  const Bucket* prev = nullptr;
+  for (const Bucket* b = min_; b != nullptr; b = b->next) {
+    ++buckets;
+    if (b->prev != prev) return false;
+    if (prev != nullptr && prev->freq >= b->freq) return false;
+    if (b->head == nullptr || b->size == 0) return false;
+    size_t in_bucket = 0;
+    const Node* prev_node = nullptr;
+    for (const Node* n = b->head; n != nullptr; n = n->next) {
+      ++in_bucket;
+      if (n->bucket != b) return false;
+      if (n->prev != prev_node) return false;
+      prev_node = n;
+    }
+    if (in_bucket != b->size) return false;
+    nodes += in_bucket;
+    prev = b;
+  }
+  if (max_ != prev) return false;
+  if (nodes != size_) return false;
+  if (buckets != num_buckets_) return false;
+  if ((min_ == nullptr) != (size_ == 0)) return false;
+  return true;
+}
+
+}  // namespace cots

@@ -1,0 +1,106 @@
+// Copyright (c) the CoTS reproduction authors.
+//
+// The sequential Stream Summary structure of Demaine et al. / Metwally et
+// al. (paper Section 3.3, Figure 2): a doubly-linked list of frequency
+// buckets kept sorted by frequency, each bucket holding the elements that
+// currently share its frequency. All operations are O(1) amortized per
+// stream element, and the structure yields the elements in frequency order
+// for free — which is what makes frequent-elements and top-k queries cheap.
+//
+// This is the single-threaded substrate: Space Saving (core/space_saving.h),
+// the Independent Structures baseline (one private copy per thread), and the
+// Shared Structure baseline (this structure plus locks) all build on it.
+
+#ifndef COTS_CORE_STREAM_SUMMARY_H_
+#define COTS_CORE_STREAM_SUMMARY_H_
+
+#include <cstdint>
+
+#include "stream/stream.h"
+#include "util/macros.h"
+
+namespace cots {
+
+class StreamSummary {
+ public:
+  struct Bucket;
+
+  /// One monitored element. Lives in exactly one bucket; its frequency is
+  /// its bucket's frequency.
+  struct Node {
+    ElementId key = 0;
+    uint64_t error = 0;
+    Bucket* bucket = nullptr;
+    Node* prev = nullptr;  // within the bucket's element list
+    Node* next = nullptr;
+  };
+
+  /// A frequency bucket. Buckets are linked in ascending frequency order;
+  /// a bucket exists iff it holds at least one element.
+  struct Bucket {
+    uint64_t freq = 0;
+    Bucket* prev = nullptr;
+    Bucket* next = nullptr;
+    Node* head = nullptr;
+    size_t size = 0;
+  };
+
+  StreamSummary() = default;
+  ~StreamSummary();
+
+  COTS_DISALLOW_COPY_AND_ASSIGN(StreamSummary);
+
+  /// Adds a new element with the given frequency and error; returns its
+  /// node. Corresponds to AddElementToBucket in the paper's Table 1.
+  Node* Insert(ElementId key, uint64_t freq, uint64_t error);
+
+  /// Raises node's frequency by delta, relocating it to the right bucket.
+  /// Corresponds to IncrementCounter (delta > 1 is a bulk increment).
+  void Increment(Node* node, uint64_t delta);
+
+  /// Detaches and frees the node (used by Lossy Counting style eviction).
+  void Erase(Node* node);
+
+  /// Re-purposes the node for a different element without relocating it.
+  /// Together with Increment this implements Overwrite: the Space Saving
+  /// caller sets error = node's current frequency, then increments.
+  void Reassign(Node* node, ElementId new_key, uint64_t new_error) {
+    node->key = new_key;
+    node->error = new_error;
+  }
+
+  /// An element of the minimum frequency bucket (nullptr when empty).
+  Node* MinNode() const { return min_ == nullptr ? nullptr : min_->head; }
+  uint64_t MinFreq() const { return min_ == nullptr ? 0 : min_->freq; }
+
+  /// Highest-frequency bucket; walk ->prev for descending iteration.
+  const Bucket* MaxBucket() const { return max_; }
+  const Bucket* MinBucket() const { return min_; }
+
+  size_t size() const { return size_; }
+  size_t num_buckets() const { return num_buckets_; }
+
+  static uint64_t FreqOf(const Node* node) { return node->bucket->freq; }
+
+  /// Validates every structural invariant (sorted buckets, consistent
+  /// back-pointers, non-empty buckets, size bookkeeping). Test helper;
+  /// returns false and stops at the first violation.
+  bool CheckInvariants() const;
+
+ private:
+  // Unlinks node from its bucket, deleting the bucket if it empties.
+  void Detach(Node* node);
+  // Inserts node into the bucket with `freq`, creating it after `hint`
+  // (the highest bucket known to have a smaller frequency, or nullptr for
+  // "search from the minimum").
+  void Attach(Node* node, uint64_t freq, Bucket* hint);
+
+  Bucket* min_ = nullptr;
+  Bucket* max_ = nullptr;
+  size_t size_ = 0;
+  size_t num_buckets_ = 0;
+};
+
+}  // namespace cots
+
+#endif  // COTS_CORE_STREAM_SUMMARY_H_

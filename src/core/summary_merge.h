@@ -1,0 +1,79 @@
+// Copyright (c) the CoTS reproduction authors.
+//
+// Merging of Space Saving summaries (paper Section 4.1). The Independent
+// Structures baseline runs one private summary per thread and must merge
+// them whenever a query fires. Two strategies, both from the paper:
+//
+//   * Serial Merge       — one thread folds all summaries left to right.
+//   * Hierarchical Merge — pairwise tree reduction, pairs merged in
+//                          parallel like the merge phase of merge sort.
+//
+// The pairwise combine preserves Space Saving's over-estimate guarantee:
+// for a key absent from one side, that side can still have counted it up to
+// its minimum frequency, so the merged estimate adds min_freq (and the same
+// amount of error) for the absent side. After truncation to capacity the
+// merged min_freq is raised to bound keys that were dropped.
+
+#ifndef COTS_CORE_SUMMARY_MERGE_H_
+#define COTS_CORE_SUMMARY_MERGE_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/counter.h"
+
+namespace cots {
+
+/// A self-contained merged summary: counters sorted by descending estimate.
+/// Also usable as a FrequencySummary for the query layer.
+class CounterSet : public FrequencySummary {
+ public:
+  CounterSet() = default;
+  CounterSet(std::vector<Counter> counters, uint64_t min_freq, uint64_t n);
+
+  /// Snapshot of any summary. `min_freq` must be the bound on unmonitored
+  /// keys (SpaceSaving::MinFreq()).
+  static CounterSet FromSummary(const FrequencySummary& summary,
+                                uint64_t min_freq);
+
+  // FrequencySummary:
+  std::optional<Counter> Lookup(ElementId e) const override;
+  std::vector<Counter> CountersDescending() const override {
+    return counters_;
+  }
+  uint64_t stream_length() const override { return n_; }
+  size_t num_counters() const override { return counters_.size(); }
+
+  uint64_t min_freq() const { return min_freq_; }
+  const std::vector<Counter>& counters() const { return counters_; }
+
+ private:
+  void BuildIndex();
+
+  std::vector<Counter> counters_;  // descending by count
+  std::unordered_map<ElementId, size_t> index_;
+  uint64_t min_freq_ = 0;
+  uint64_t n_ = 0;
+};
+
+/// Pairwise combine, truncated to `capacity` counters (0 = unbounded).
+CounterSet CombineCounterSets(const CounterSet& a, const CounterSet& b,
+                              size_t capacity);
+
+/// Left-to-right fold by a single thread.
+CounterSet MergeSerial(const std::vector<const FrequencySummary*>& parts,
+                       const std::vector<uint64_t>& min_freqs,
+                       size_t capacity);
+
+/// Tree reduction; each level merges pairs concurrently using std::thread.
+/// With p parts this spawns ceil(p/2) threads per level over ceil(log2 p)
+/// levels — exactly the synchronization pattern whose per-level barrier cost
+/// the paper blames for hierarchical merge not beating serial merge.
+CounterSet MergeHierarchical(const std::vector<const FrequencySummary*>& parts,
+                             const std::vector<uint64_t>& min_freqs,
+                             size_t capacity);
+
+}  // namespace cots
+
+#endif  // COTS_CORE_SUMMARY_MERGE_H_

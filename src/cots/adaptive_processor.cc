@@ -1,0 +1,124 @@
+#include "cots/adaptive_processor.h"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cots {
+
+Status AdaptiveOptions::Validate() const {
+  if (num_threads <= 0) {
+    return Status::InvalidArgument("num_threads must be positive");
+  }
+  if (min_active_threads <= 0 || min_active_threads > num_threads) {
+    return Status::InvalidArgument(
+        "min_active_threads must be in [1, num_threads]");
+  }
+  if (rho >= sigma) {
+    return Status::InvalidArgument("rho must be below sigma");
+  }
+  if (chunk == 0) {
+    return Status::InvalidArgument("chunk must be positive");
+  }
+  return Status::OK();
+}
+
+namespace {
+
+// Shared park/unpark state between the controller and the workers.
+struct Gate {
+  std::mutex mu;
+  std::condition_variable cv;
+  int target_active;
+  int active;
+  bool done = false;
+
+  // Returns false when the worker should exit (stream exhausted).
+  bool MaybePark() {
+    std::unique_lock<std::mutex> lock(mu);
+    if (active <= target_active || done) return true;
+    --active;
+    cv.wait(lock, [this] { return done || active < target_active; });
+    ++active;
+    return true;
+  }
+};
+
+}  // namespace
+
+AdaptiveRunResult AdaptiveStreamProcessor::Run(const Stream& stream) {
+  AdaptiveRunResult result;
+  const uint64_t n = stream.size();
+  std::atomic<uint64_t> cursor{0};
+
+  Gate gate;
+  gate.target_active = options_.num_threads;
+  gate.active = options_.num_threads;
+
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<size_t>(options_.num_threads));
+  std::atomic<int> finished{0};
+  for (int t = 0; t < options_.num_threads; ++t) {
+    workers.emplace_back([&] {
+      auto handle = engine_->RegisterThread();
+      if (handle == nullptr) {
+        finished.fetch_add(1);
+        return;
+      }
+      for (;;) {
+        gate.MaybePark();
+        const uint64_t begin =
+            cursor.fetch_add(options_.chunk, std::memory_order_relaxed);
+        if (begin >= n) break;
+        const uint64_t end = std::min(n, begin + options_.chunk);
+        for (uint64_t i = begin; i < end; ++i) handle->Offer(stream[i]);
+      }
+      finished.fetch_add(1);
+      {
+        std::lock_guard<std::mutex> lock(gate.mu);
+        --gate.active;
+      }
+      gate.cv.notify_all();
+    });
+  }
+
+  // Controller: hysteresis on the hot-spot queue depth. Seed the activity
+  // average with the launch state so very short streams (which can finish
+  // inside the first control period) still report a meaningful figure.
+  uint64_t ticks = 1;
+  double active_sum = options_.num_threads;
+  while (finished.load() < options_.num_threads) {
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(options_.control_period_us));
+    const size_t depth = engine_->queue_depth();
+    std::unique_lock<std::mutex> lock(gate.mu);
+    if (depth > options_.sigma &&
+        gate.target_active > options_.min_active_threads) {
+      --gate.target_active;
+      ++result.parks;
+    } else if (depth < options_.rho &&
+               gate.target_active < options_.num_threads) {
+      ++gate.target_active;
+      ++result.unparks;
+    }
+    active_sum += gate.active;
+    ++ticks;
+    lock.unlock();
+    gate.cv.notify_all();
+  }
+  {
+    std::lock_guard<std::mutex> lock(gate.mu);
+    gate.done = true;
+  }
+  gate.cv.notify_all();
+  for (std::thread& w : workers) w.join();
+
+  result.elements_processed = n;
+  result.avg_active_threads = active_sum / static_cast<double>(ticks);
+  return result;
+}
+
+}  // namespace cots

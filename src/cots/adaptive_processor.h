@@ -1,0 +1,74 @@
+// Copyright (c) the CoTS reproduction authors.
+//
+// Dynamic auto-configuration (paper Section 5.2.3): the system adapts the
+// number of threads feeding the CoTS engine to the parallelism the data
+// actually allows. When delegation piles requests up at the structure's
+// hot spots (depth > sigma), extra threads are only getting in each other's
+// way — park some. When the backlog clears (depth < rho, rho < sigma),
+// wake them again.
+//
+// Workers pull fixed-size chunks of the stream from a shared cursor, so
+// parking a worker never strands its portion of the input; a controller
+// samples ConcurrentStreamSummary::ApproxQueueDepth() and applies the
+// hysteresis policy above.
+
+#ifndef COTS_COTS_ADAPTIVE_PROCESSOR_H_
+#define COTS_COTS_ADAPTIVE_PROCESSOR_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "cots/cots_space_saving.h"
+#include "stream/stream.h"
+#include "util/macros.h"
+#include "util/status.h"
+
+namespace cots {
+
+struct AdaptiveOptions {
+  /// Pool size; the controller keeps active workers in
+  /// [min_active_threads, num_threads].
+  int num_threads = 4;
+  int min_active_threads = 1;
+  /// Park a worker when the hot-spot queue depth exceeds sigma.
+  uint64_t sigma = 64;
+  /// Wake a worker when the depth falls below rho (rho < sigma).
+  uint64_t rho = 8;
+  /// Elements per work chunk pulled from the shared cursor.
+  uint64_t chunk = 1024;
+  /// Controller sampling period in microseconds.
+  uint64_t control_period_us = 200;
+
+  Status Validate() const;
+};
+
+struct AdaptiveRunResult {
+  uint64_t elements_processed = 0;
+  /// Controller decisions taken, for observability.
+  uint64_t parks = 0;
+  uint64_t unparks = 0;
+  /// Time-weighted average of active workers (sampled each control tick).
+  double avg_active_threads = 0.0;
+};
+
+/// Drives a CotsSpaceSaving engine over a materialized stream with an
+/// adaptive worker count.
+class AdaptiveStreamProcessor {
+ public:
+  AdaptiveStreamProcessor(CotsSpaceSaving* engine,
+                          const AdaptiveOptions& options)
+      : engine_(engine), options_(options) {}
+
+  COTS_DISALLOW_COPY_AND_ASSIGN(AdaptiveStreamProcessor);
+
+  /// Processes the whole stream; returns once every element is applied.
+  AdaptiveRunResult Run(const Stream& stream);
+
+ private:
+  CotsSpaceSaving* engine_;
+  AdaptiveOptions options_;
+};
+
+}  // namespace cots
+
+#endif  // COTS_COTS_ADAPTIVE_PROCESSOR_H_

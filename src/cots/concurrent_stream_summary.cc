@@ -1,0 +1,690 @@
+#include "cots/concurrent_stream_summary.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+
+#include "util/spinlock.h"
+
+namespace cots {
+
+Status ConcurrentStreamSummaryOptions::Validate() {
+  if (capacity == 0) {
+    if (epsilon <= 0.0 || epsilon >= 1.0) {
+      return Status::InvalidArgument(
+          "either capacity > 0 or epsilon in (0, 1) is required");
+    }
+    capacity = static_cast<size_t>(std::ceil(1.0 / epsilon));
+  }
+  return Status::OK();
+}
+
+ConcurrentStreamSummary::ConcurrentStreamSummary(
+    const ConcurrentStreamSummaryOptions& options, DelegationHashTable* table,
+    EpochManager* epochs)
+    : capacity_(options.capacity),
+      always_admit_(options.always_admit),
+      sentinel_(new FreqBucket(0)),
+      table_(table),
+      epochs_(epochs) {
+  assert(capacity_ > 0 && "Validate() the options first");
+}
+
+ConcurrentStreamSummary::~ConcurrentStreamSummary() {
+  FreqBucket* b = sentinel_;
+  while (b != nullptr) {
+    SummaryNode* n = b->head.load(std::memory_order_relaxed);
+    while (n != nullptr) {
+      SummaryNode* next = n->next.load(std::memory_order_relaxed);
+      delete n;
+      n = next;
+    }
+    FreqBucket* next = b->next.load(std::memory_order_relaxed);
+    delete b;
+    b = next;
+  }
+}
+
+bool ConcurrentStreamSummary::TryAdmit() {
+  if (always_admit_) {
+    monitored_.fetch_add(1, std::memory_order_acq_rel);
+    return true;
+  }
+  size_t current = monitored_.load(std::memory_order_relaxed);
+  while (current < capacity_) {
+    if (monitored_.compare_exchange_weak(current, current + 1,
+                                         std::memory_order_acq_rel)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void ConcurrentStreamSummary::AttachNode(FreqBucket* bucket,
+                                         SummaryNode* node) {
+  assert(bucket != sentinel_);
+  assert(node->freq == bucket->freq);
+  SummaryNode* head = bucket->head.load(std::memory_order_relaxed);
+  node->bucket = bucket;
+  node->prev = nullptr;
+  node->next.store(head, std::memory_order_relaxed);
+  if (head != nullptr) head->prev = node;
+  bucket->head.store(node, std::memory_order_release);
+  ++bucket->size;
+}
+
+void ConcurrentStreamSummary::DetachNode(FreqBucket* bucket,
+                                         SummaryNode* node) {
+  assert(node->bucket == bucket);
+  SummaryNode* next = node->next.load(std::memory_order_relaxed);
+  if (node->prev != nullptr) {
+    node->prev->next.store(next, std::memory_order_release);
+  } else {
+    bucket->head.store(next, std::memory_order_release);
+  }
+  if (next != nullptr) next->prev = node->prev;
+  node->prev = nullptr;
+  node->next.store(nullptr, std::memory_order_relaxed);
+  node->bucket = nullptr;
+  --bucket->size;
+}
+
+FreqBucket* ConcurrentStreamSummary::FirstLiveBucket() const {
+  for (FreqBucket* b = sentinel_->next.load(std::memory_order_acquire);
+       b != nullptr; b = b->next.load(std::memory_order_acquire)) {
+    if (!b->gc.load(std::memory_order_acquire)) return b;
+  }
+  return nullptr;
+}
+
+void ConcurrentStreamSummary::UnlinkDeadSuccessors(FreqBucket* bucket,
+                                                   WorkContext* ctx) {
+  for (;;) {
+    FreqBucket* next = bucket->next.load(std::memory_order_acquire);
+    if (next == nullptr || !next->gc.load(std::memory_order_acquire)) return;
+    // Only the holder of `bucket` writes bucket->next, so this store cannot
+    // race with an insertion after `bucket`.
+    bucket->next.store(next->next.load(std::memory_order_acquire),
+                       std::memory_order_release);
+    stats_.buckets_garbage_collected.fetch_add(1, std::memory_order_relaxed);
+    ctx->participant->Retire(next);
+  }
+}
+
+void ConcurrentStreamSummary::TryCleanHead(WorkContext* ctx) {
+  // Dead buckets at the head of the list can only be unlinked by the
+  // sentinel's holder. Overwrite routing and teardown sweeps walk the head
+  // constantly, so an uncleaned prefix turns every walk into O(dead) —
+  // clean it inline whenever it is observed (try-only, never waits).
+  FreqBucket* first = sentinel_->next.load(std::memory_order_acquire);
+  if (first == nullptr || !first->gc.load(std::memory_order_acquire)) return;
+  if (sentinel_->held.exchange(true, std::memory_order_acquire)) return;
+  UnlinkDeadSuccessors(sentinel_, ctx);
+  sentinel_->held.store(false, std::memory_order_release);
+  // Requests may have been queued at the sentinel while we held it; the
+  // post-release contract applies here as to any hold.
+  if (!sentinel_->queue.empty()) ctx->work.push_back(sentinel_);
+}
+
+void ConcurrentStreamSummary::Dispatch(const Request& request,
+                                       WorkContext* ctx,
+                                       FreqBucket* exclude) {
+  switch (request.kind) {
+    case Request::Kind::kAdd: {
+      // New elements and re-routed placements enter through the sentinel,
+      // whose queue never closes.
+      const bool ok = sentinel_->queue.TryEnqueue(request);
+      assert(ok);
+      (void)ok;
+      ctx->work.push_back(sentinel_);
+      return;
+    }
+    case Request::Kind::kIncrement: {
+      // The element rests in node->bucket and we are its only operator
+      // (Invariant 5.1), so the bucket cannot empty — or close — under us.
+      SummaryNode* node = static_cast<SummaryNode*>(request.node);
+      FreqBucket* bucket = node->bucket;
+      assert(bucket != nullptr);
+      const bool ok = bucket->queue.TryEnqueue(request);
+      assert(ok);
+      (void)ok;
+      ctx->work.push_back(bucket);
+      return;
+    }
+    case Request::Kind::kOverwrite: {
+      // Route to the first live bucket other than `exclude`; retry when it
+      // closes between the traversal and the enqueue.
+      for (uint64_t spins = 0;; ++spins) {
+        // Watchdog: this loop retries a handful of times in practice; tens
+        // of millions of iterations means a liveness bug, and aborting
+        // with a message beats silently burning a core.
+        if (spins == 10'000'000) {
+          std::fprintf(stderr,
+                       "cots: overwrite dispatch livelock (no live victim "
+                       "bucket found)\n");
+          std::abort();
+        }
+        TryCleanHead(ctx);
+        FreqBucket* min = nullptr;
+        for (FreqBucket* b = sentinel_->next.load(std::memory_order_acquire);
+             b != nullptr; b = b->next.load(std::memory_order_acquire)) {
+          if (b == exclude || b->gc.load(std::memory_order_acquire)) continue;
+          min = b;
+          break;
+        }
+        // Overwrites only exist once capacity is reached, so a live bucket
+        // with elements exists somewhere; a transiently empty view retries.
+        if (min != nullptr && min->queue.TryEnqueue(request)) {
+          ctx->work.push_back(min);
+          return;
+        }
+        // A victim source exists but is transiently invisible (mid-GC or
+        // every node in flight); give the other threads the CPU.
+        CpuRelax();
+        std::this_thread::yield();
+      }
+    }
+    case Request::Kind::kEvict:
+      // Evictions are enqueued per-bucket by EvictUpTo, never dispatched.
+      assert(false);
+      return;
+  }
+}
+
+void ConcurrentStreamSummary::Complete(SummaryNode* node, uint64_t token,
+                                       WorkContext* ctx) {
+  const uint64_t pending = table_->Relinquish(node->entry, token);
+  if (pending > 0) {
+    // Occurrences accumulated while we processed: apply them as one bulk
+    // increment — the delegation win that makes skewed streams fast
+    // (Section 5.2.2 "Dealing with Accumulated Counts and Bulk Increments").
+    stats_.bulk_increments.fetch_add(1, std::memory_order_relaxed);
+    Request follow_up;
+    follow_up.kind = Request::Kind::kIncrement;
+    follow_up.node = node;
+    follow_up.delta = pending;
+    follow_up.token = 1;  // the exchange in Relinquish reset the marker
+    Dispatch(follow_up, ctx);
+    return;
+  }
+  // Fully released. If the bucket where the element now rests has queued
+  // or parked requests (deferred overwrites waiting for exactly this
+  // release), make sure somebody revisits it.
+  FreqBucket* bucket = node->bucket;
+  if (bucket != nullptr &&
+      (!bucket->queue.empty() ||
+       bucket->parked_count.load(std::memory_order_acquire) > 0)) {
+    ctx->work.push_back(bucket);
+  }
+}
+
+bool ConcurrentStreamSummary::PlaceNode(FreqBucket* bucket, SummaryNode* node,
+                                        uint64_t token, WorkContext* ctx) {
+  assert(node->freq >= bucket->freq);
+  if (node->freq == bucket->freq && bucket != sentinel_) {
+    AttachNode(bucket, node);
+    return true;
+  }
+  for (uint64_t spins = 0;; ++spins) {
+    if (spins == 10'000'000) {
+      std::fprintf(stderr, "cots: PlaceNode livelock (freq=%llu)\n",
+                   static_cast<unsigned long long>(node->freq));
+      std::abort();
+    }
+    UnlinkDeadSuccessors(bucket, ctx);
+    FreqBucket* next = bucket->next.load(std::memory_order_acquire);
+    if (next == nullptr || next->freq > node->freq) {
+      // No bucket for this frequency yet: create and link it here.
+      // (FindDestBucket's first case.)
+      FreqBucket* fresh = new FreqBucket(node->freq);
+      stats_.buckets_created.fetch_add(1, std::memory_order_relaxed);
+      AttachNode(fresh, node);
+      fresh->next.store(next, std::memory_order_relaxed);
+      bucket->next.store(fresh, std::memory_order_release);
+      return true;
+    }
+    if (next->freq == node->freq) {
+      Request add;
+      add.kind = Request::Kind::kAdd;
+      add.node = node;
+      add.delta = 0;
+      add.token = token;
+      if (next->queue.TryEnqueue(add)) {
+        stats_.requests_delegated_downstream.fetch_add(
+            1, std::memory_order_relaxed);
+        ctx->work.push_back(next);
+        return false;
+      }
+      // The successor closed concurrently; it will be GC-marked, after
+      // which UnlinkDeadSuccessors clears it and we retry.
+      CpuRelax();
+      std::this_thread::yield();
+      continue;
+    }
+    // next->freq < node->freq: bulk increment traversal (Algorithm 4).
+    // Delegate to the furthest reachable bucket whose frequency does not
+    // exceed the target; its holder continues the placement from there.
+    FreqBucket* target = next;
+    for (FreqBucket* scan = next;
+         scan != nullptr && scan->freq <= node->freq;
+         scan = scan->next.load(std::memory_order_acquire)) {
+      if (!scan->gc.load(std::memory_order_acquire)) target = scan;
+    }
+    Request add;
+    add.kind = Request::Kind::kAdd;
+    add.node = node;
+    add.delta = 0;
+    add.token = token;
+    if (target->queue.TryEnqueue(add)) {
+      stats_.requests_delegated_downstream.fetch_add(
+          1, std::memory_order_relaxed);
+      ctx->work.push_back(target);
+      return false;
+    }
+    // Aborted read: the chosen bucket was collected mid-flight; restart
+    // the traversal (the paper's abort-and-restart rule).
+    CpuRelax();
+    std::this_thread::yield();
+  }
+}
+
+bool ConcurrentStreamSummary::ProcessRequest(FreqBucket* bucket,
+                                             const Request& request,
+                                             WorkContext* ctx) {
+  switch (request.kind) {
+    case Request::Kind::kAdd: {
+      SummaryNode* node = static_cast<SummaryNode*>(request.node);
+      if (PlaceNode(bucket, node, request.token, ctx)) {
+        Complete(node, request.token, ctx);
+      }
+      return true;
+    }
+    case Request::Kind::kIncrement: {
+      SummaryNode* node = static_cast<SummaryNode*>(request.node);
+      assert(node->bucket == bucket);
+      DetachNode(bucket, node);
+      node->freq += request.delta;
+      if (PlaceNode(bucket, node, request.token, ctx)) {
+        Complete(node, request.token, ctx);
+      }
+      return true;
+    }
+    case Request::Kind::kOverwrite: {
+      // If this bucket stopped being the minimum (a lower bucket appeared),
+      // keep the eviction tight by re-routing to the real minimum — but at
+      // most once: under churn the minimum moves constantly and an
+      // uncapped chase livelocks (the re-routed request lands in a bucket
+      // that dies before it is processed, forever).
+      // The hop budget is strictly monotone per request: resetting it on
+      // any retry lets two parked overwrites regenerate each other's
+      // budgets and ping-pong forever. After kMaxReroutes the request
+      // settles wherever it is and evicts locally once a victim frees —
+      // a looser error seed, but every Space Saving bound still holds.
+      constexpr uint8_t kMaxReroutes = 3;
+      FreqBucket* min = FirstLiveBucket();
+      if (min != nullptr && min != bucket && min->freq < bucket->freq &&
+          request.reroutes < kMaxReroutes) {
+        Request rerouted = request;
+        rerouted.reroutes = static_cast<uint8_t>(request.reroutes + 1);
+        Dispatch(rerouted, ctx);
+        return true;
+      }
+      // Note: unlike Algorithm 6's deferAllOverwrites flag, retries always
+      // rescan. The flag would have to be cleared on *every* event that can
+      // free a victim; missing one (e.g. an increment processed before the
+      // parked overwrite was re-injected) strands the overwrite forever.
+      // A scan of the minimum bucket is cheap; correctness is not.
+      {
+        for (SummaryNode* victim = bucket->head.load(std::memory_order_relaxed);
+             victim != nullptr;
+             victim = victim->next.load(std::memory_order_relaxed)) {
+          if (!table_->TryRemove(victim->entry, ctx->participant)) {
+            continue;  // busy: its increment is already queued our way
+          }
+          // Victim secured: recycle its node for the arriving element
+          // (Algorithm 6). The victim's count becomes the newcomer's error.
+          DetachNode(bucket, victim);
+          auto* entry = static_cast<DelegationHashTable::Entry*>(request.entry);
+          victim->key = request.key;
+          victim->error = bucket->freq;
+          victim->freq = bucket->freq + request.delta;
+          victim->entry = entry;
+          entry->node.store(victim, std::memory_order_release);
+          if (PlaceNode(bucket, victim, request.token, ctx)) {
+            Complete(victim, request.token, ctx);
+          }
+          return true;
+        }
+      }
+      // No candidate can be overwritten: every element here has an
+      // operation in flight. Defer until one of those operations lands.
+      stats_.overwrites_deferred.fetch_add(1, std::memory_order_relaxed);
+      ctx->deferred.push_back(request);
+      return false;
+    }
+    case Request::Kind::kEvict: {
+      // Round-boundary eviction (Lossy Counting adaptation, Section 5.3):
+      // drop quiescent elements at or below the threshold. Busy elements
+      // survive the round — keeping extra counters never weakens the
+      // Lossy Counting bounds, it only spends a little more space.
+      if (bucket->freq > request.delta) return true;
+      SummaryNode* n = bucket->head.load(std::memory_order_relaxed);
+      while (n != nullptr) {
+        SummaryNode* next = n->next.load(std::memory_order_relaxed);
+        if (table_->TryRemove(n->entry, ctx->participant)) {
+          DetachNode(bucket, n);
+          monitored_.fetch_sub(1, std::memory_order_acq_rel);
+          // Queries may still be walking over the node; retire, not delete.
+          ctx->participant->Retire(n);
+        }
+        n = next;
+      }
+      return true;
+    }
+  }
+  return true;
+}
+
+void ConcurrentStreamSummary::TryProcessBucket(FreqBucket* bucket,
+                                               WorkContext* ctx) {
+  for (;;) {
+    if (bucket->held.exchange(true, std::memory_order_acquire)) {
+      // Someone else holds it; by the delegation contract they drain our
+      // request before releasing (or the post-release recheck catches it).
+      return;
+    }
+    // Dead successors can only be unlinked while holding their
+    // predecessor; every hold starts with that housekeeping so GC'd
+    // buckets never pile up in front of live ones. A bucket that is itself
+    // dead must NOT unlink (its predecessor's holder owns that edge — two
+    // unlinkers walking overlapping dead chains would double-retire).
+    if (!bucket->gc.load(std::memory_order_acquire)) {
+      UnlinkDeadSuccessors(bucket, ctx);
+    }
+    bool retried_parked = false;
+    for (;;) {
+      ctx->batch.clear();
+      bucket->queue.DrainTo(&ctx->batch);
+      // Parked overwrites are retried once per hold and whenever new
+      // requests arrive (an arriving increment is exactly the event that
+      // can free a victim).
+      if (!bucket->parked.empty() &&
+          (!ctx->batch.empty() || !retried_parked)) {
+        ctx->batch.insert(ctx->batch.end(), bucket->parked.begin(),
+                          bucket->parked.end());
+        bucket->parked.clear();
+        bucket->parked_count.store(0, std::memory_order_release);
+      }
+      retried_parked = true;
+      if (ctx->batch.empty()) break;
+      ctx->deferred.clear();
+      for (const Request& request : ctx->batch) {
+        ProcessRequest(bucket, request, ctx);
+      }
+      if (!ctx->deferred.empty()) {
+        // Park overwrites whose every candidate victim is mid-flight; the
+        // victims' in-flight operations terminate by re-entering (or
+        // waking) this bucket, which retries the parked work.
+        bucket->parked.insert(bucket->parked.end(), ctx->deferred.begin(),
+                              ctx->deferred.end());
+        bucket->parked_count.store(bucket->parked.size(),
+                                   std::memory_order_release);
+      }
+    }
+    // Overwrites parked at a bucket with no elements can never succeed
+    // here: forward them to another victim source before releasing.
+    if (bucket->size == 0 && !bucket->parked.empty()) {
+      std::vector<Request> orphans;
+      orphans.swap(bucket->parked);
+      bucket->parked_count.store(0, std::memory_order_release);
+      for (const Request& request : orphans) Dispatch(request, ctx, bucket);
+    }
+    if (bucket != sentinel_ && bucket->size == 0 && bucket->parked.empty() &&
+        !bucket->gc.load(std::memory_order_relaxed) &&
+        bucket->queue.CloseIfEmpty()) {
+      bucket->gc.store(true, std::memory_order_release);
+    }
+    bucket->held.store(false, std::memory_order_release);
+    // Requests that arrived between the final drain and the release would
+    // be stranded if we left now — re-acquire and go again.
+    if (bucket->queue.closed() || bucket->queue.empty()) return;
+  }
+}
+
+void ConcurrentStreamSummary::ProcessWork(WorkContext* ctx) {
+  while (!ctx->work.empty()) {
+    FreqBucket* bucket = ctx->work.back();
+    ctx->work.pop_back();
+    TryProcessBucket(bucket, ctx);
+  }
+}
+
+void ConcurrentStreamSummary::CrossBoundary(DelegationHashTable::Entry* entry,
+                                            bool newly_inserted,
+                                            uint64_t delta, uint64_t token,
+                                            EpochParticipant* participant,
+                                            uint64_t initial_error) {
+  WorkContext ctx;
+  ctx.participant = participant;
+  Request request;
+  if (newly_inserted) {
+    if (TryAdmit()) {
+      auto* node = new SummaryNode;
+      node->key = entry->key;
+      node->freq = delta + initial_error;
+      node->error = initial_error;
+      node->entry = entry;
+      entry->node.store(node, std::memory_order_release);
+      request.kind = Request::Kind::kAdd;
+      request.node = node;
+      request.delta = delta;
+      request.token = token;
+    } else {
+      request.kind = Request::Kind::kOverwrite;
+      request.key = entry->key;
+      request.entry = entry;
+      request.delta = delta;
+      request.token = token;
+    }
+  } else {
+    SummaryNode* node = entry->node.load(std::memory_order_acquire);
+    assert(node != nullptr);
+    request.kind = Request::Kind::kIncrement;
+    request.node = node;
+    request.delta = delta;
+    request.token = token;
+  }
+  Dispatch(request, &ctx);
+  // The minimum-frequency region churns buckets constantly, and only the
+  // sentinel's holder can unlink the dead ones at the head of the list;
+  // visit it whenever the head has died.
+  FreqBucket* first = sentinel_->next.load(std::memory_order_acquire);
+  if (first != nullptr && first->gc.load(std::memory_order_acquire)) {
+    ctx.work.push_back(sentinel_);
+  }
+  ProcessWork(&ctx);
+}
+
+void ConcurrentStreamSummary::EvictUpTo(uint64_t threshold,
+                                        EpochParticipant* participant) {
+  WorkContext ctx;
+  ctx.participant = participant;
+  for (FreqBucket* b = sentinel_->next.load(std::memory_order_acquire);
+       b != nullptr && b->freq <= threshold;
+       b = b->next.load(std::memory_order_acquire)) {
+    if (b->gc.load(std::memory_order_acquire)) continue;
+    Request evict;
+    evict.kind = Request::Kind::kEvict;
+    evict.delta = threshold;
+    if (b->queue.TryEnqueue(evict)) ctx.work.push_back(b);
+    // A closed queue means the bucket emptied on its own; nothing to evict.
+  }
+  ProcessWork(&ctx);
+}
+
+void ConcurrentStreamSummary::SweepStranded(EpochParticipant* participant) {
+  WorkContext ctx;
+  ctx.participant = participant;
+  EpochGuard guard(participant);
+  TryCleanHead(&ctx);
+  for (FreqBucket* b = sentinel_->next.load(std::memory_order_acquire);
+       b != nullptr; b = b->next.load(std::memory_order_acquire)) {
+    if (b->gc.load(std::memory_order_acquire)) continue;
+    if (!b->queue.empty() ||
+        b->parked_count.load(std::memory_order_acquire) > 0) {
+      ctx.work.push_back(b);
+    }
+  }
+  ProcessWork(&ctx);
+}
+
+std::vector<Counter> ConcurrentStreamSummary::CountersDescending(
+    EpochParticipant* participant) const {
+  EpochGuard guard(participant);
+  std::vector<Counter> out;
+  out.reserve(std::min(capacity_, size_t{65536}));
+  // Defensive bounds: concurrent relocation can make a racy traversal
+  // wander; the structure never exceeds capacity live nodes.
+  const size_t node_limit =
+      always_admit_ ? ~size_t{0} : capacity_ * 2 + 64;
+  for (FreqBucket* b = sentinel_->next.load(std::memory_order_acquire);
+       b != nullptr && out.size() < node_limit;
+       b = b->next.load(std::memory_order_acquire)) {
+    if (b->gc.load(std::memory_order_acquire)) continue;
+    size_t steps = 0;
+    for (SummaryNode* n = b->head.load(std::memory_order_acquire);
+         n != nullptr && steps < node_limit;
+         n = n->next.load(std::memory_order_acquire), ++steps) {
+      out.push_back(Counter{n->key, n->freq, n->error});
+    }
+  }
+  // Ascending bucket order; flip and order ties deterministically.
+  std::sort(out.begin(), out.end(), [](const Counter& a, const Counter& b) {
+    if (a.count != b.count) return a.count > b.count;
+    return a.key < b.key;
+  });
+  return out;
+}
+
+size_t ConcurrentStreamSummary::ApproxQueueDepth() const {
+  size_t depth = sentinel_->queue.size();
+  FreqBucket* min = FirstLiveBucket();
+  if (min != nullptr) {
+    depth += min->queue.size() + min->parked_count.load(std::memory_order_relaxed);
+  }
+  return depth;
+}
+
+uint64_t ConcurrentStreamSummary::MinFreq(EpochParticipant* participant) const {
+  if (num_monitored() < capacity_) return 0;
+  EpochGuard guard(participant);
+  FreqBucket* min = FirstLiveBucket();
+  return min == nullptr ? 0 : min->freq;
+}
+
+void ConcurrentStreamSummary::DumpState(std::FILE* out,
+                                        EpochParticipant* participant) const {
+  EpochGuard guard(participant);
+  std::fprintf(out, "summary: monitored=%zu/%zu depth=%zu\n",
+               num_monitored(), capacity_, ApproxQueueDepth());
+  int i = 0;
+  int dead = 0;
+  for (FreqBucket* b = sentinel_; b != nullptr && i < 100000;
+       b = b->next.load(std::memory_order_acquire), ++i) {
+    if (b->gc.load(std::memory_order_acquire)) {
+      ++dead;
+      continue;
+    }
+    std::fprintf(out,
+                 "  [%3d] freq=%llu size=%zu queue=%zu parked=%zu held=%d "
+                 "gc=%d closed=%d",
+                 i, static_cast<unsigned long long>(b->freq), b->size,
+                 b->queue.size(),
+                 b->parked_count.load(std::memory_order_relaxed),
+                 b->held.load() ? 1 : 0, b->gc.load() ? 1 : 0,
+                 b->queue.closed() ? 1 : 0);
+    SummaryNode* head = b->head.load(std::memory_order_acquire);
+    if (head != nullptr && head->entry != nullptr) {
+      std::fprintf(out, " | head key=%llu freq=%llu state=%llx",
+                   static_cast<unsigned long long>(head->key),
+                   static_cast<unsigned long long>(head->freq),
+                   static_cast<unsigned long long>(
+                       head->entry->state.load(std::memory_order_relaxed)));
+    }
+    std::fprintf(out, "\n");
+  }
+  std::fprintf(out, "  (%d gc'd buckets still linked)\n", dead);
+  std::fprintf(out,
+               "  stats: created=%llu gcd=%llu delegated=%llu bulk=%llu "
+               "deferred=%llu\n",
+               static_cast<unsigned long long>(stats_.buckets_created.load()),
+               static_cast<unsigned long long>(
+                   stats_.buckets_garbage_collected.load()),
+               static_cast<unsigned long long>(
+                   stats_.requests_delegated_downstream.load()),
+               static_cast<unsigned long long>(stats_.bulk_increments.load()),
+               static_cast<unsigned long long>(
+                   stats_.overwrites_deferred.load()));
+}
+
+bool ConcurrentStreamSummary::CheckInvariantsQuiescent(
+    uint64_t expected_total, std::string* why) const {
+  auto fail = [why](const char* reason) {
+    if (why != nullptr) *why = reason;
+    return false;
+  };
+  uint64_t total = 0;
+  size_t nodes = 0;
+  uint64_t prev_freq = 0;
+  if (sentinel_->freq != 0) return fail("sentinel freq != 0");
+  if (sentinel_->head.load() != nullptr) return fail("sentinel has elements");
+  for (FreqBucket* b = sentinel_->next.load(); b != nullptr;
+       b = b->next.load()) {
+    if (b->gc.load()) {
+      // Unlinking is opportunistic, so GC'd buckets may still be linked at
+      // quiescence — but they must be empty and closed.
+      if (b->size != 0 || b->head.load() != nullptr) {
+        return fail("gc bucket non-empty");
+      }
+      if (!b->queue.closed()) return fail("gc bucket queue open");
+      continue;
+    }
+    if (b->held.load()) return fail("bucket held at quiescence");
+    if (b->queue.size() != 0) return fail("bucket queue non-empty");
+    if (b->parked_count.load() != 0) return fail("parked overwrites remain");
+    if (b->freq <= prev_freq) return fail("bucket freqs not ascending");
+    prev_freq = b->freq;
+    size_t in_bucket = 0;
+    SummaryNode* prev_node = nullptr;
+    for (SummaryNode* n = b->head.load(); n != nullptr; n = n->next.load()) {
+      if (n->bucket != b) return fail("node bucket back-pointer wrong");
+      if (n->freq != b->freq) return fail("node freq != bucket freq");
+      if (n->error > n->freq) return fail("node error > freq");
+      if (n->prev != prev_node) return fail("node prev pointer wrong");
+      if (n->entry == nullptr ||
+          n->entry->node.load(std::memory_order_relaxed) != n) {
+        return fail("hash entry does not point back at node");
+      }
+      total += n->freq;
+      ++in_bucket;
+      prev_node = n;
+    }
+    if (in_bucket != b->size) return fail("bucket size mismatch");
+    nodes += in_bucket;
+  }
+  if (nodes != monitored_.load()) return fail("monitored count mismatch");
+  if (!always_admit_ && nodes > capacity_) return fail("over capacity");
+  if (expected_total != ~uint64_t{0} && total != expected_total) {
+    if (why != nullptr) {
+      *why = "count conservation violated: total=" + std::to_string(total) +
+             " expected=" + std::to_string(expected_total);
+    }
+    return false;
+  }
+  return true;
+}
+
+}  // namespace cots

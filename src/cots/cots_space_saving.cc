@@ -1,0 +1,159 @@
+#include "cots/cots_space_saving.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace cots {
+
+Status CotsSpaceSavingOptions::Validate() {
+  if (capacity == 0) {
+    if (epsilon <= 0.0 || epsilon >= 1.0) {
+      return Status::InvalidArgument(
+          "either capacity > 0 or epsilon in (0, 1) is required");
+    }
+    capacity = static_cast<size_t>(std::ceil(1.0 / epsilon));
+  }
+  if (hash_buckets == 0) hash_buckets = capacity * 4;
+  if (hash_block_entries == 0 || hash_block_entries > 64) {
+    return Status::InvalidArgument("hash_block_entries must be in [1, 64]");
+  }
+  if (max_threads <= 1) {
+    return Status::InvalidArgument("max_threads must be at least 2");
+  }
+  return Status::OK();
+}
+
+namespace {
+
+DelegationHashTableOptions TableOptions(const CotsSpaceSavingOptions& opt) {
+  DelegationHashTableOptions topt;
+  topt.buckets = opt.hash_buckets;
+  topt.block_entries = opt.hash_block_entries;
+  return topt;
+}
+
+ConcurrentStreamSummaryOptions SummaryOptions(
+    const CotsSpaceSavingOptions& opt) {
+  ConcurrentStreamSummaryOptions sopt;
+  sopt.capacity = opt.capacity;
+  return sopt;
+}
+
+}  // namespace
+
+CotsSpaceSaving::CotsSpaceSaving(const CotsSpaceSavingOptions& options)
+    : epochs_(options.max_threads),
+      table_(TableOptions(options), &epochs_),
+      summary_(SummaryOptions(options), &table_, &epochs_) {
+  assert(options.capacity > 0 && "Validate() the options first");
+  query_participant_ = epochs_.Register();
+  assert(query_participant_ != nullptr);
+}
+
+CotsSpaceSaving::~CotsSpaceSaving() {
+  if (query_participant_ != nullptr) epochs_.Unregister(query_participant_);
+  // Retired hash slots and buckets carry deleters that touch table_ and
+  // summary_ memory; run them while that memory is still alive.
+  epochs_.DrainAll();
+}
+
+std::unique_ptr<CotsSpaceSaving::ThreadHandle> CotsSpaceSaving::RegisterThread() {
+  EpochParticipant* participant = epochs_.Register();
+  if (participant == nullptr) return nullptr;
+  return std::unique_ptr<ThreadHandle>(new ThreadHandle(this, participant));
+}
+
+CotsSpaceSaving::ThreadHandle::~ThreadHandle() {
+  // Drain any work stranded by end-of-stream timing before this worker's
+  // epoch slot goes away (see ConcurrentStreamSummary::SweepStranded).
+  engine_->summary_.SweepStranded(participant_);
+  engine_->epochs_.Unregister(participant_);
+}
+
+void CotsSpaceSaving::ThreadHandle::Offer(ElementId e, uint64_t weight) {
+  assert(weight > 0);
+  engine_->n_.fetch_add(weight, std::memory_order_relaxed);
+  EpochGuard guard(participant_);
+  OfferGuarded(e, weight);
+}
+
+void CotsSpaceSaving::ThreadHandle::OfferBatch(const ElementId* elements,
+                                               size_t count) {
+  engine_->n_.fetch_add(count, std::memory_order_relaxed);
+  EpochGuard guard(participant_);
+  for (size_t i = 0; i < count; ++i) OfferGuarded(elements[i], 1);
+}
+
+void CotsSpaceSaving::ThreadHandle::OfferGuarded(ElementId e,
+                                                 uint64_t weight) {
+  // Algorithm 2: log the occurrence; the thread that takes the count from
+  // 0 owns the element and crosses the boundary, everyone else has
+  // delegated and simply moves to its next stream element.
+  uint64_t remaining = weight;
+  while (remaining > 0) {
+    DelegationHashTable::DelegateResult r = engine_->table_.Delegate(e);
+    if (r.owner) {
+      // We hold one unit of the state word and apply the whole batch: the
+      // other remaining-1 occurrences were never logged, so they are ours
+      // to carry as part of delta.
+      engine_->summary_.CrossBoundary(r.entry, r.newly_inserted, remaining,
+                                      /*token=*/1, participant_);
+      return;
+    }
+    --remaining;              // the current owner applies the 1 we logged
+    if (remaining == 0) return;
+    // Weighted non-owner: log the rest as one lump. If the owner
+    // relinquished first, the lump seizes ownership (token == remaining);
+    // if the entry was evicted first, the lump landed on a dead slot (a
+    // harmless stray) and we retry it from scratch.
+    const uint64_t old =
+        r.entry->state.fetch_add(remaining, std::memory_order_acq_rel);
+    if (old & (DelegationHashTable::Entry::kDead |
+               DelegationHashTable::Entry::kFree)) {
+      continue;
+    }
+    if (old == 0) {
+      engine_->summary_.CrossBoundary(r.entry, /*newly_inserted=*/false,
+                                      remaining, /*token=*/remaining,
+                                      participant_);
+    }
+    return;
+  }
+}
+
+std::optional<Counter> CotsSpaceSaving::LookupWith(
+    EpochParticipant* participant, ElementId e) const {
+  EpochGuard guard(participant);
+  DelegationHashTable::Entry* entry = table_.Find(e);
+  if (entry == nullptr) return std::nullopt;
+  SummaryNode* node = entry->node.load(std::memory_order_acquire);
+  if (node == nullptr) return std::nullopt;  // first placement in flight
+  return Counter{e, node->freq, node->error};
+}
+
+std::optional<Counter> CotsSpaceSaving::ThreadHandle::Lookup(
+    ElementId e) const {
+  return engine_->LookupWith(participant_, e);
+}
+
+std::vector<Counter> CotsSpaceSaving::ThreadHandle::CountersDescending()
+    const {
+  return engine_->summary_.CountersDescending(participant_);
+}
+
+std::optional<Counter> CotsSpaceSaving::Lookup(ElementId e) const {
+  std::lock_guard<std::mutex> lock(query_mu_);
+  return LookupWith(query_participant_, e);
+}
+
+std::vector<Counter> CotsSpaceSaving::CountersDescending() const {
+  std::lock_guard<std::mutex> lock(query_mu_);
+  return summary_.CountersDescending(query_participant_);
+}
+
+uint64_t CotsSpaceSaving::MinFreq() const {
+  std::lock_guard<std::mutex> lock(query_mu_);
+  return summary_.MinFreq(query_participant_);
+}
+
+}  // namespace cots

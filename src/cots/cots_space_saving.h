@@ -1,0 +1,157 @@
+// Copyright (c) the CoTS reproduction authors.
+//
+// The CoTS engine: Space Saving adapted into the Cooperative Thread
+// Scheduling framework (paper Section 5.2, Figure 8). Composes the
+// Delegation hash table (Search Structure) with the Concurrent Stream
+// Summary, wiring the boundary between them exactly as the paper draws it:
+//
+//   worker thread --> Delegate(e) --------------------- Search Structure
+//                        | owner?                       (element-level
+//                        v                               delegation)
+//                     CrossBoundary(entry, delta) ------ Concurrent Stream
+//                                                        Summary (bucket-
+//                                                        level delegation)
+//
+// Invariant 5.1 holds by construction: Delegate hands ownership of an
+// element to exactly one thread at a time, and only owners cross.
+//
+// Usage: each worker registers a ThreadHandle (epoch slot) and calls
+// handle->Offer(e) per stream element. Queries go through the
+// FrequencySummary interface or a registered handle.
+
+#ifndef COTS_COTS_COTS_SPACE_SAVING_H_
+#define COTS_COTS_COTS_SPACE_SAVING_H_
+
+#include <atomic>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+
+#include "core/counter.h"
+#include "cots/concurrent_stream_summary.h"
+#include "cots/delegation_hash_table.h"
+#include "util/ebr.h"
+#include "util/macros.h"
+#include "util/status.h"
+
+namespace cots {
+
+struct CotsSpaceSavingOptions {
+  /// Monitored counters (m); derived from epsilon when 0.
+  size_t capacity = 0;
+  double epsilon = 0.0;
+  /// Hash buckets; 0 = 4x capacity (chains stay short, never resizes).
+  size_t hash_buckets = 0;
+  /// Entries per cache-conscious hash block (Figure 9).
+  size_t hash_block_entries = 2;
+  /// Epoch-reclamation slots: upper bound on concurrently registered
+  /// threads (workers + queriers).
+  int max_threads = 256;
+
+  Status Validate();
+};
+
+class CotsSpaceSaving : public FrequencySummary {
+ public:
+  /// Per-thread session. Obtain via RegisterThread(); destroy (or let go
+  /// out of scope) when the thread stops feeding the engine.
+  class ThreadHandle {
+   public:
+    ~ThreadHandle();
+    COTS_DISALLOW_COPY_AND_ASSIGN(ThreadHandle);
+
+    /// Processes `weight` occurrences of e. Wait-free unless this thread
+    /// ends up the element's owner, in which case it cooperatively drains
+    /// delegated work.
+    void Offer(ElementId e, uint64_t weight = 1);
+
+    /// Processes `count` elements under one epoch guard — the per-element
+    /// guard entry (a seq_cst store) is the dominant fixed cost of Offer,
+    /// so batching it matters on the hot ingest path. Keep batches modest
+    /// (hundreds to a few thousand): the epoch is pinned for the whole
+    /// batch, which delays memory reclamation.
+    void OfferBatch(const ElementId* elements, size_t count);
+
+    /// Point lookup through this thread's epoch slot (lock-free).
+    std::optional<Counter> Lookup(ElementId e) const;
+
+    /// Set snapshot through this thread's epoch slot (lock-free).
+    std::vector<Counter> CountersDescending() const;
+
+    EpochParticipant* participant() { return participant_; }
+
+   private:
+    friend class CotsSpaceSaving;
+    ThreadHandle(CotsSpaceSaving* engine, EpochParticipant* participant)
+        : engine_(engine), participant_(participant) {}
+
+    // Core of Offer; requires the caller to hold the epoch guard and to
+    // have accounted the weight into the engine's stream length.
+    void OfferGuarded(ElementId e, uint64_t weight);
+
+    CotsSpaceSaving* engine_;
+    EpochParticipant* participant_;
+  };
+
+  explicit CotsSpaceSaving(const CotsSpaceSavingOptions& options);
+  ~CotsSpaceSaving() override;
+
+  COTS_DISALLOW_COPY_AND_ASSIGN(CotsSpaceSaving);
+
+  /// Registers the calling thread. Returns nullptr when max_threads
+  /// sessions are already active.
+  std::unique_ptr<ThreadHandle> RegisterThread();
+
+  // FrequencySummary. These use a shared, mutex-guarded epoch slot so any
+  // thread may query without registering; workers should prefer the
+  // lock-free ThreadHandle equivalents.
+  std::optional<Counter> Lookup(ElementId e) const override;
+  std::vector<Counter> CountersDescending() const override;
+  uint64_t stream_length() const override {
+    return n_.load(std::memory_order_relaxed);
+  }
+  size_t num_counters() const override { return summary_.num_monitored(); }
+
+  size_t capacity() const { return summary_.capacity(); }
+  /// Bound on any unmonitored element's frequency (0 while not full).
+  uint64_t MinFreq() const;
+
+  const ConcurrentStreamSummary::Stats& stats() const {
+    return summary_.stats();
+  }
+
+  /// Hot-spot request backlog; the adaptive scheduler's control signal.
+  size_t queue_depth() const { return summary_.ApproxQueueDepth(); }
+
+  /// Diagnostic dump of the summary's bucket chain and stats (racy read).
+  void DumpState(std::FILE* out) const {
+    std::lock_guard<std::mutex> lock(query_mu_);
+    summary_.DumpState(out, query_participant_);
+  }
+
+  /// Quiescent-state structural audit (test helper): checks the summary
+  /// invariants including sum(count) == stream_length.
+  bool CheckInvariantsQuiescent(std::string* why = nullptr) const {
+    return summary_.CheckInvariantsQuiescent(stream_length(), why);
+  }
+
+ private:
+  std::optional<Counter> LookupWith(EpochParticipant* participant,
+                                    ElementId e) const;
+
+  // Destruction order matters: participants/retired garbage drain into
+  // epochs_, so it must outlive table_ and summary_ (declared first =
+  // destroyed last).
+  mutable EpochManager epochs_;
+  DelegationHashTable table_;
+  ConcurrentStreamSummary summary_;
+  std::atomic<uint64_t> n_{0};
+
+  // Shared query slot for the virtual FrequencySummary interface.
+  mutable std::mutex query_mu_;
+  mutable EpochParticipant* query_participant_ = nullptr;
+};
+
+}  // namespace cots
+
+#endif  // COTS_COTS_COTS_SPACE_SAVING_H_

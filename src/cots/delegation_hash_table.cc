@@ -1,0 +1,176 @@
+#include "cots/delegation_hash_table.h"
+
+#include <cassert>
+#include <new>
+
+namespace cots {
+
+Status DelegationHashTableOptions::Validate() const {
+  if (buckets == 0) {
+    return Status::InvalidArgument("buckets must be positive");
+  }
+  if (block_entries == 0 || block_entries > 64) {
+    return Status::InvalidArgument("block_entries must be in [1, 64]");
+  }
+  return Status::OK();
+}
+
+namespace {
+
+size_t RoundUpPowerOfTwo(size_t v) {
+  size_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+DelegationHashTable::Block* DelegationHashTable::Block::New(size_t entries) {
+  void* mem = ::operator new(sizeof(Block) + entries * sizeof(Entry),
+                             std::align_val_t{kCacheLineSize});
+  Block* block = new (mem) Block();
+  for (size_t i = 0; i < entries; ++i) new (&block->slots()[i]) Entry();
+  return block;
+}
+
+void DelegationHashTable::Block::Delete(Block* block, size_t entries) {
+  for (size_t i = 0; i < entries; ++i) block->slots()[i].~Entry();
+  block->~Block();
+  ::operator delete(block, std::align_val_t{kCacheLineSize});
+}
+
+DelegationHashTable::DelegationHashTable(
+    const DelegationHashTableOptions& options, EpochManager* epochs)
+    : block_entries_(options.block_entries), epochs_(epochs) {
+  assert(options.Validate().ok());
+  const size_t n = RoundUpPowerOfTwo(options.buckets);
+  mask_ = n - 1;
+  buckets_ = std::vector<BucketHead>(n);
+}
+
+DelegationHashTable::~DelegationHashTable() {
+  for (BucketHead& bucket : buckets_) {
+    Block* b = bucket.head.load(std::memory_order_relaxed);
+    while (b != nullptr) {
+      Block* next = b->next.load(std::memory_order_relaxed);
+      Block::Delete(b, block_entries_);
+      b = next;
+    }
+  }
+}
+
+DelegationHashTable::Entry* DelegationHashTable::Find(ElementId e) const {
+  const BucketHead& bucket = BucketFor(e);
+  for (Block* b = bucket.head.load(std::memory_order_acquire); b != nullptr;
+       b = b->next.load(std::memory_order_acquire)) {
+    for (size_t i = 0; i < block_entries_; ++i) {
+      Entry& entry = b->slots()[i];
+      const uint64_t s = entry.state.load(std::memory_order_acquire);
+      if ((s & (Entry::kFree | Entry::kDead)) != 0) continue;
+      // The key is written before the live transition (release), so a live
+      // state implies the key read below is the claimant's key.
+      if (entry.key == e) return &entry;
+    }
+  }
+  return nullptr;
+}
+
+DelegationHashTable::Entry* DelegationHashTable::InsertLocked(
+    BucketHead& bucket, ElementId e, bool* claimed_fresh) {
+  // Re-scan under the lock: another inserter may have won the race, and a
+  // FREE slot may be reusable. Inserters are serialized per bucket; the
+  // claim below still publishes key before state so lock-free readers
+  // validate correctly.
+  Entry* free_slot = nullptr;
+  for (Block* b = bucket.head.load(std::memory_order_acquire); b != nullptr;
+       b = b->next.load(std::memory_order_acquire)) {
+    for (size_t i = 0; i < block_entries_; ++i) {
+      Entry& entry = b->slots()[i];
+      const uint64_t s = entry.state.load(std::memory_order_acquire);
+      if (s & Entry::kFree) {
+        if (free_slot == nullptr) free_slot = &entry;
+        continue;
+      }
+      if (s & Entry::kDead) continue;
+      if (entry.key == e) {
+        // Lost the insert race: the caller delegates to the winner's entry.
+        *claimed_fresh = false;
+        return &entry;
+      }
+    }
+  }
+  if (free_slot == nullptr) {
+    Block* fresh = Block::New(block_entries_);
+    // Publish at the head so concurrent lock-free readers see it at once.
+    fresh->next.store(bucket.head.load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+    bucket.head.store(fresh, std::memory_order_release);
+    free_slot = &fresh->slots()[0];
+  }
+  free_slot->key = e;
+  free_slot->node.store(nullptr, std::memory_order_relaxed);
+  // Claim with one logged occurrence: the inserter is the owner.
+  free_slot->state.store(1, std::memory_order_release);
+  *claimed_fresh = true;
+  return free_slot;
+}
+
+DelegationHashTable::DelegateResult DelegationHashTable::Delegate(
+    ElementId e) {
+  for (;;) {
+    Entry* entry = Find(e);
+    if (entry == nullptr) {
+      BucketHead& bucket = BucketFor(e);
+      bool claimed_fresh = false;
+      {
+        std::lock_guard<SpinLock> guard(bucket.insert_mu);
+        entry = InsertLocked(bucket, e, &claimed_fresh);
+      }
+      if (claimed_fresh) {
+        // Our occurrence is already logged (state == 1) and we own the
+        // brand-new element: cross the boundary with an Add/Overwrite.
+        return DelegateResult{entry, true, true};
+      }
+    }
+    const uint64_t old = entry->state.fetch_add(1, std::memory_order_acq_rel);
+    if (old & (Entry::kDead | Entry::kFree)) {
+      // Evicted between Find and fetch_add. The stray count on a dead slot
+      // is harmless: nothing reads it again and recycling rewrites the
+      // state outright. Retry the lookup; the element is (re-)inserted as
+      // new. (FREE here is impossible inside an epoch guard — recycling
+      // needs a grace period — but retrying is the safe response anyway.)
+      continue;
+    }
+    return DelegateResult{entry, old == 0, false};
+  }
+}
+
+uint64_t DelegationHashTable::Relinquish(Entry* entry, uint64_t token) {
+  uint64_t expected = token;
+  if (entry->state.compare_exchange_strong(expected, 0,
+                                           std::memory_order_acq_rel)) {
+    return 0;
+  }
+  // Requests were logged while we processed; reclaim them all and stay the
+  // owner (token now 1) with the batch as one bulk increment.
+  const uint64_t old = entry->state.exchange(1, std::memory_order_acq_rel);
+  assert(old > token && !(old & (Entry::kDead | Entry::kFree)));
+  return old - token;
+}
+
+bool DelegationHashTable::TryRemove(Entry* entry,
+                                    EpochParticipant* participant) {
+  uint64_t expected = 0;
+  if (!entry->state.compare_exchange_strong(expected, Entry::kDead,
+                                            std::memory_order_acq_rel)) {
+    return false;
+  }
+  // Recycle the slot once no reader can still be validating it.
+  participant->RetireRaw(entry, [](void* p) {
+    static_cast<Entry*>(p)->state.store(Entry::kFree,
+                                        std::memory_order_release);
+  });
+  return true;
+}
+
+}  // namespace cots

@@ -1,0 +1,127 @@
+// Copyright (c) the CoTS reproduction authors.
+//
+// Requests and per-bucket request queues — the "logging" half of the
+// paper's Delegation Model (Section 5). A thread that cannot act on a
+// frequency bucket enqueues a request and leaves; whichever thread holds
+// the bucket drains and processes the queue before relinquishing it, so no
+// logged request is ever lost.
+//
+// The queue is a tiny spinlock-guarded FIFO with *close* semantics: a
+// bucket that is about to be garbage collected atomically closes its queue,
+// and closing succeeds only while the queue is empty. An enqueue and a
+// close therefore race safely: either the enqueue lands before the close
+// (the closer sees a non-empty queue and must keep processing) or the
+// enqueue observes the closed flag and the caller re-routes the request to
+// a live bucket. This removes the need for Algorithm 5's appendQueues —
+// a closed queue is always empty by construction.
+
+#ifndef COTS_COTS_REQUEST_H_
+#define COTS_COTS_REQUEST_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "stream/stream.h"
+#include "util/macros.h"
+#include "util/spinlock.h"
+
+namespace cots {
+
+class DelegationHashTable;
+
+/// One unit of delegated work, mapping 1:1 onto the paper's Table 1
+/// operations (LOOKUP happens in the hash table before a request exists).
+struct Request {
+  enum class Kind : uint8_t {
+    /// Place a detached element node (node->freq already final) into this
+    /// bucket or delegate it further down the list (Algorithm 3).
+    kAdd,
+    /// Raise an element of this bucket by `delta` and relocate it
+    /// (Algorithm 5). delta > 1 is a bulk increment (Section 5.2.2).
+    kIncrement,
+    /// Evict a minimum-frequency victim and install a new element in its
+    /// place (Algorithm 6). Carries the new element's identity.
+    kOverwrite,
+    /// Remove every non-busy element of this bucket whose frequency is at
+    /// most `delta`. This is the round-boundary eviction that replaces
+    /// kOverwrite when Lossy Counting is adapted into the framework
+    /// (Section 5.3).
+    kEvict,
+  };
+
+  Kind kind;
+  /// kOverwrite: the key of the arriving element.
+  ElementId key = 0;
+  /// kOverwrite: the arriving element's hash entry (node not yet assigned).
+  void* entry = nullptr;
+  /// kAdd / kIncrement: the element node being placed or raised.
+  void* node = nullptr;
+  /// Occurrences to apply (>= 1). kEvict: the eviction threshold.
+  uint64_t delta = 0;
+  /// Ownership token: how much of the hash entry's state word belongs to
+  /// this in-flight operation. Released at completion (Relinquish); almost
+  /// always 1 — a weighted offer that seized ownership mid-batch carries a
+  /// larger token.
+  uint64_t token = 1;
+  /// kOverwrite: hops this request has taken toward a newer minimum
+  /// bucket. Strictly monotone and capped: under heavy churn the minimum
+  /// moves constantly and an uncapped (or refreshable) chase never
+  /// terminates. Evicting from a slightly stale minimum stays correct —
+  /// the victim's bucket frequency is what seeds the newcomer's error.
+  uint8_t reroutes = 0;
+};
+
+/// Multi-producer FIFO drained by the single bucket holder.
+class RequestQueue {
+ public:
+  RequestQueue() = default;
+  COTS_DISALLOW_COPY_AND_ASSIGN(RequestQueue);
+
+  /// Returns false iff the queue is closed; the request was NOT logged and
+  /// the caller must re-route it.
+  bool TryEnqueue(const Request& request) {
+    std::lock_guard<SpinLock> guard(mu_);
+    if (closed_) return false;
+    items_.push_back(request);
+    return true;
+  }
+
+  /// Moves all pending requests into *out (appending). Returns how many.
+  size_t DrainTo(std::vector<Request>* out) {
+    std::lock_guard<SpinLock> guard(mu_);
+    const size_t n = items_.size();
+    out->insert(out->end(), items_.begin(), items_.end());
+    items_.clear();
+    return n;
+  }
+
+  /// Atomically closes the queue if it is empty. Once closed, it stays
+  /// closed; a closed queue is permanently empty.
+  bool CloseIfEmpty() {
+    std::lock_guard<SpinLock> guard(mu_);
+    if (!items_.empty()) return false;
+    closed_ = true;
+    return true;
+  }
+
+  bool closed() const {
+    std::lock_guard<SpinLock> guard(mu_);
+    return closed_;
+  }
+
+  size_t size() const {
+    std::lock_guard<SpinLock> guard(mu_);
+    return items_.size();
+  }
+
+  bool empty() const { return size() == 0; }
+
+ private:
+  mutable SpinLock mu_;
+  bool closed_ = false;
+  std::vector<Request> items_;
+};
+
+}  // namespace cots
+
+#endif  // COTS_COTS_REQUEST_H_

@@ -1,0 +1,108 @@
+#include "cots/thread_pool.h"
+
+namespace cots {
+
+ThreadPool::ThreadPool(int num_threads) {
+  workers_.reserve(static_cast<size_t>(num_threads));
+  for (int i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    tasks_.push_back(std::move(task));
+  }
+  work_cv_.notify_one();
+}
+
+void ThreadPool::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return tasks_.empty() && running_ == 0; });
+}
+
+int ThreadPool::Park(int count) {
+  int asked;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const int parkable =
+        num_threads() - parked_ - park_requests_;
+    asked = count < parkable ? count : parkable;
+    if (asked < 0) asked = 0;
+    park_requests_ += asked;
+  }
+  work_cv_.notify_all();
+  return asked;
+}
+
+int ThreadPool::Unpark(int count) {
+  int woken;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    // Cancel outstanding park requests first, then credit sleepers.
+    const int cancelled = count < park_requests_ ? count : park_requests_;
+    park_requests_ -= cancelled;
+    int remaining = count - cancelled;
+    const int sleepers = parked_ - unpark_credits_;
+    int credited = remaining < sleepers ? remaining : sleepers;
+    if (credited < 0) credited = 0;
+    unpark_credits_ += credited;
+    woken = cancelled + credited;
+  }
+  work_cv_.notify_all();
+  return woken;
+}
+
+int ThreadPool::parked() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return parked_;
+}
+
+int ThreadPool::parked_or_parking() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return parked_ + park_requests_ - unpark_credits_;
+}
+
+void ThreadPool::WorkerLoop(int index) {
+  (void)index;
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    if (shutdown_) return;
+    if (park_requests_ > 0) {
+      --park_requests_;
+      ++parked_;
+      work_cv_.wait(lock,
+                    [this] { return shutdown_ || unpark_credits_ > 0; });
+      if (shutdown_) return;
+      --unpark_credits_;
+      --parked_;
+      continue;
+    }
+    if (!tasks_.empty()) {
+      std::function<void()> task = std::move(tasks_.front());
+      tasks_.pop_front();
+      ++running_;
+      lock.unlock();
+      task();
+      lock.lock();
+      --running_;
+      if (tasks_.empty() && running_ == 0) idle_cv_.notify_all();
+      continue;
+    }
+    work_cv_.wait(lock, [this] {
+      return shutdown_ || !tasks_.empty() || park_requests_ > 0;
+    });
+  }
+}
+
+}  // namespace cots

@@ -1,0 +1,65 @@
+// Copyright (c) the CoTS reproduction authors.
+//
+// A fixed-size worker pool with park/unpark control — the "Pool of threads
+// managed by the system" in the paper's Figure 8. The CoTS system draws
+// workers from here and can return them (park) when the structure cannot
+// absorb more parallelism, or wake them (unpark) when request queues build
+// up (Section 5.2.3); AdaptiveStreamProcessor drives that policy.
+
+#ifndef COTS_COTS_THREAD_POOL_H_
+#define COTS_COTS_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/macros.h"
+
+namespace cots {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  COTS_DISALLOW_COPY_AND_ASSIGN(ThreadPool);
+
+  /// Enqueues a task. Parked workers do not pick up tasks.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until the task queue is empty and all running tasks finished.
+  void Wait();
+
+  /// Asks up to `count` active workers to park (return to the pool) once
+  /// they finish their current task. Returns how many were asked.
+  int Park(int count);
+
+  /// Wakes up to `count` parked workers. Returns how many were woken.
+  int Unpark(int count);
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+  int parked() const;
+  int active() const { return num_threads() - parked(); }
+  int parked_or_parking() const;
+
+ private:
+  void WorkerLoop(int index);
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;   // workers wait for tasks / unpark
+  std::condition_variable idle_cv_;   // Wait() waits for drain
+  std::deque<std::function<void()>> tasks_;
+  int park_requests_ = 0;   // workers to park as soon as possible
+  int parked_ = 0;          // workers currently asleep in the pool
+  int unpark_credits_ = 0;  // sleepers allowed to wake
+  int running_ = 0;  // tasks currently executing
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace cots
+
+#endif  // COTS_COTS_THREAD_POOL_H_

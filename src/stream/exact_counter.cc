@@ -1,0 +1,55 @@
+#include "stream/exact_counter.h"
+
+#include <algorithm>
+
+namespace cots {
+namespace {
+
+bool MoreFrequent(const std::pair<ElementId, uint64_t>& a,
+                  const std::pair<ElementId, uint64_t>& b) {
+  if (a.second != b.second) return a.second > b.second;
+  return a.first < b.first;
+}
+
+}  // namespace
+
+std::vector<ElementId> ExactCounter::FrequentElements(
+    uint64_t threshold) const {
+  std::vector<std::pair<ElementId, uint64_t>> hits;
+  for (const auto& [key, count] : counts_) {
+    if (count > threshold) hits.emplace_back(key, count);
+  }
+  std::sort(hits.begin(), hits.end(), MoreFrequent);
+  std::vector<ElementId> out;
+  out.reserve(hits.size());
+  for (const auto& [key, count] : hits) out.push_back(key);
+  return out;
+}
+
+std::vector<ElementId> ExactCounter::TopK(size_t k) const {
+  std::vector<std::pair<ElementId, uint64_t>> all(counts_.begin(),
+                                                  counts_.end());
+  if (k < all.size()) {
+    std::partial_sort(all.begin(), all.begin() + static_cast<long>(k),
+                      all.end(), MoreFrequent);
+    all.resize(k);
+  } else {
+    std::sort(all.begin(), all.end(), MoreFrequent);
+  }
+  std::vector<ElementId> out;
+  out.reserve(all.size());
+  for (const auto& [key, count] : all) out.push_back(key);
+  return out;
+}
+
+uint64_t ExactCounter::KthFrequency(size_t k) const {
+  if (k == 0 || k > counts_.size()) return 0;
+  std::vector<uint64_t> freqs;
+  freqs.reserve(counts_.size());
+  for (const auto& [key, count] : counts_) freqs.push_back(count);
+  std::nth_element(freqs.begin(), freqs.begin() + static_cast<long>(k - 1),
+                   freqs.end(), std::greater<uint64_t>());
+  return freqs[k - 1];
+}
+
+}  // namespace cots

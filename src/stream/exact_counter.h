@@ -1,0 +1,66 @@
+// Copyright (c) the CoTS reproduction authors.
+//
+// Exact frequency counting over a materialized stream. This is the ground
+// truth every approximate summary is validated against in tests and in the
+// accuracy benches. It is deliberately simple; it does not need to be fast.
+
+#ifndef COTS_STREAM_EXACT_COUNTER_H_
+#define COTS_STREAM_EXACT_COUNTER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "stream/stream.h"
+
+namespace cots {
+
+class ExactCounter {
+ public:
+  ExactCounter() = default;
+  explicit ExactCounter(const Stream& stream) { Process(stream); }
+
+  void Offer(ElementId e, uint64_t weight = 1) {
+    counts_[e] += weight;
+    n_ += weight;
+  }
+
+  void Process(const Stream& stream) {
+    for (ElementId e : stream) Offer(e);
+  }
+
+  /// True frequency of e (0 when never seen).
+  uint64_t Count(ElementId e) const {
+    auto it = counts_.find(e);
+    return it == counts_.end() ? 0 : it->second;
+  }
+
+  /// Total number of processed elements (stream length N).
+  uint64_t stream_length() const { return n_; }
+
+  /// Number of distinct elements.
+  size_t distinct() const { return counts_.size(); }
+
+  /// All elements with frequency strictly greater than `threshold`.
+  std::vector<ElementId> FrequentElements(uint64_t threshold) const;
+
+  /// The k most frequent elements, ordered by descending frequency (ties
+  /// broken by key for determinism).
+  std::vector<ElementId> TopK(size_t k) const;
+
+  /// Frequency of the k-th most frequent element (0 when fewer than k).
+  uint64_t KthFrequency(size_t k) const;
+
+  const std::unordered_map<ElementId, uint64_t>& counts() const {
+    return counts_;
+  }
+
+ private:
+  std::unordered_map<ElementId, uint64_t> counts_;
+  uint64_t n_ = 0;
+};
+
+}  // namespace cots
+
+#endif  // COTS_STREAM_EXACT_COUNTER_H_

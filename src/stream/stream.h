@@ -1,0 +1,23 @@
+// Copyright (c) the CoTS reproduction authors.
+//
+// Fundamental stream types shared by every layer.
+
+#ifndef COTS_STREAM_STREAM_H_
+#define COTS_STREAM_STREAM_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace cots {
+
+/// A stream element identity. The paper's streams are click/packet
+/// identifiers; 64 bits covers any practical alphabet.
+using ElementId = uint64_t;
+
+/// A materialized stream prefix. Experiments in the paper use streams of
+/// 1M-100M elements, which fit comfortably in memory at 8 bytes each.
+using Stream = std::vector<ElementId>;
+
+}  // namespace cots
+
+#endif  // COTS_STREAM_STREAM_H_

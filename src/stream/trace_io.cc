@@ -1,0 +1,62 @@
+#include "stream/trace_io.h"
+
+#include <cstdio>
+#include <memory>
+
+namespace cots {
+namespace {
+
+// 'C' 'T' 'R' 'C' + 4-byte version.
+constexpr uint64_t kMagic = 0x0000000143525443ULL;
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using File = std::unique_ptr<std::FILE, FileCloser>;
+
+}  // namespace
+
+Status WriteTrace(const std::string& path, const Stream& stream) {
+  File file(std::fopen(path.c_str(), "wb"));
+  if (file == nullptr) {
+    return Status::InvalidArgument("cannot open for writing: " + path);
+  }
+  const uint64_t count = stream.size();
+  if (std::fwrite(&kMagic, sizeof(kMagic), 1, file.get()) != 1 ||
+      std::fwrite(&count, sizeof(count), 1, file.get()) != 1) {
+    return Status::Internal("short write of header: " + path);
+  }
+  if (count != 0 &&
+      std::fwrite(stream.data(), sizeof(ElementId), count, file.get()) !=
+          count) {
+    return Status::Internal("short write of elements: " + path);
+  }
+  return Status::OK();
+}
+
+Status ReadTrace(const std::string& path, Stream* out) {
+  File file(std::fopen(path.c_str(), "rb"));
+  if (file == nullptr) {
+    return Status::NotFound("cannot open: " + path);
+  }
+  uint64_t magic = 0;
+  uint64_t count = 0;
+  if (std::fread(&magic, sizeof(magic), 1, file.get()) != 1 ||
+      std::fread(&count, sizeof(count), 1, file.get()) != 1) {
+    return Status::Internal("truncated header: " + path);
+  }
+  if (magic != kMagic) {
+    return Status::InvalidArgument("not a CoTS trace (bad magic): " + path);
+  }
+  out->assign(count, 0);
+  if (count != 0 &&
+      std::fread(out->data(), sizeof(ElementId), count, file.get()) != count) {
+    out->clear();
+    return Status::Internal("truncated elements: " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace cots

@@ -1,0 +1,28 @@
+// Copyright (c) the CoTS reproduction authors.
+//
+// Binary stream-trace files. Experiments become reproducible across
+// machines by writing a generated stream to disk once and replaying it;
+// the benches accept traces for apples-to-apples comparisons against other
+// systems. Format: 8-byte magic+version header, element count, then raw
+// little-endian 64-bit element ids.
+
+#ifndef COTS_STREAM_TRACE_IO_H_
+#define COTS_STREAM_TRACE_IO_H_
+
+#include <string>
+
+#include "stream/stream.h"
+#include "util/status.h"
+
+namespace cots {
+
+/// Writes the stream to `path`, overwriting any existing file.
+Status WriteTrace(const std::string& path, const Stream& stream);
+
+/// Reads a trace written by WriteTrace. Fails with InvalidArgument on a
+/// bad magic/version and with Internal on truncation.
+Status ReadTrace(const std::string& path, Stream* out);
+
+}  // namespace cots
+
+#endif  // COTS_STREAM_TRACE_IO_H_

@@ -1,0 +1,142 @@
+#include "stream/zipf_generator.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace cots {
+namespace {
+
+// Bijective 64-bit mixer (SplitMix64 finalizer). Distinct ranks map to
+// distinct keys, so the alphabet size is preserved.
+uint64_t MixKey(uint64_t x) {
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+// log(1+x)/x, numerically stable near 0.
+double Helper1(double x) {
+  if (std::fabs(x) > 1e-8) return std::log1p(x) / x;
+  return 1.0 - x * (0.5 - x * (1.0 / 3.0 - x * 0.25));
+}
+
+// (exp(x)-1)/x, numerically stable near 0.
+double Helper2(double x) {
+  if (std::fabs(x) > 1e-8) return std::expm1(x) / x;
+  return 1.0 + x * 0.5 * (1.0 + x * (1.0 / 3.0) * (1.0 + x * 0.25));
+}
+
+}  // namespace
+
+ZipfGenerator::ZipfGenerator(const ZipfOptions& options)
+    : options_(options), rng_(options.seed) {
+  assert(options_.alphabet_size >= 1);
+  assert(options_.alpha > 0.0);
+  h_integral_x1_ = HIntegral(1.5) - 1.0;
+  h_integral_num_elements_ =
+      HIntegral(static_cast<double>(options_.alphabet_size) + 0.5);
+  s_ = 2.0 - HIntegralInverse(HIntegral(2.5) - H(2.0));
+}
+
+double ZipfGenerator::HIntegral(double x) const {
+  const double log_x = std::log(x);
+  return Helper2((1.0 - options_.alpha) * log_x) * log_x;
+}
+
+double ZipfGenerator::H(double x) const {
+  return std::exp(-options_.alpha * std::log(x));
+}
+
+double ZipfGenerator::HIntegralInverse(double x) const {
+  double t = x * (1.0 - options_.alpha);
+  if (t < -1.0) t = -1.0;  // limit of numeric range
+  return std::exp(Helper1(t) * x);
+}
+
+uint64_t ZipfGenerator::NextRank() {
+  // Hörmann & Derflinger rejection-inversion.
+  for (;;) {
+    const double u =
+        h_integral_num_elements_ +
+        rng_.NextDouble() * (h_integral_x1_ - h_integral_num_elements_);
+    const double x = HIntegralInverse(u);
+    double k = std::floor(x + 0.5);
+    if (k < 1.0) {
+      k = 1.0;
+    } else if (k > static_cast<double>(options_.alphabet_size)) {
+      k = static_cast<double>(options_.alphabet_size);
+    }
+    if (k - x <= s_ || u >= HIntegral(k + 0.5) - H(k)) {
+      return static_cast<uint64_t>(k);
+    }
+  }
+}
+
+ElementId ZipfGenerator::KeyOfRank(uint64_t rank) const {
+  return options_.permute_keys ? MixKey(rank) : rank;
+}
+
+ElementId ZipfGenerator::Next() { return KeyOfRank(NextRank()); }
+
+double ZipfGenerator::ExpectedFrequency(uint64_t rank, uint64_t n) const {
+  if (zeta_ == 0.0) {
+    double z = 0.0;
+    for (uint64_t i = 1; i <= options_.alphabet_size; ++i) {
+      const double term = std::pow(static_cast<double>(i), -options_.alpha);
+      z += term;
+      // The tail is negligible once terms stop moving the sum.
+      if (term < z * 1e-12) break;
+    }
+    zeta_ = z;
+  }
+  return static_cast<double>(n) /
+         (std::pow(static_cast<double>(rank), options_.alpha) * zeta_);
+}
+
+Stream MakeZipfStream(uint64_t n, const ZipfOptions& options) {
+  ZipfGenerator gen(options);
+  Stream out;
+  out.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) out.push_back(gen.Next());
+  return out;
+}
+
+Stream MakeUniformStream(uint64_t n, uint64_t alphabet_size, uint64_t seed) {
+  Xoshiro256 rng(seed);
+  Stream out;
+  out.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    out.push_back(MixKey(1 + rng.NextBounded(alphabet_size)));
+  }
+  return out;
+}
+
+Stream MakeConstantStream(uint64_t n, ElementId key) {
+  return Stream(n, key);
+}
+
+Stream MakeRoundRobinStream(uint64_t n, uint64_t alphabet_size) {
+  Stream out;
+  out.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) out.push_back(MixKey(1 + i % alphabet_size));
+  return out;
+}
+
+Stream MakeSkewFlipStream(uint64_t n, const ZipfOptions& options) {
+  // First half uses the configured seed; second half re-seeds, which remaps
+  // ranks to a fresh hot set via a different key offset.
+  Stream out;
+  out.reserve(n);
+  ZipfGenerator first(options);
+  for (uint64_t i = 0; i < n / 2; ++i) out.push_back(first.Next());
+  ZipfOptions flipped = options;
+  flipped.seed = options.seed ^ 0x5bd1e995;
+  ZipfGenerator second(flipped);
+  for (uint64_t i = n / 2; i < n; ++i) {
+    // Shift ranks so the flipped hot set is disjoint from the first half's.
+    out.push_back(MixKey(second.NextRank() + options.alphabet_size));
+  }
+  return out;
+}
+
+}  // namespace cots

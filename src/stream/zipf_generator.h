@@ -1,0 +1,82 @@
+// Copyright (c) the CoTS reproduction authors.
+//
+// Synthetic zipfian stream generation (Section 6 of the paper).
+//
+// The paper draws elements so that the i-th most frequent element occurs
+// f_i = N / (i^alpha * zeta(alpha)) times, zeta(alpha) = sum_{i=1..|A|} i^-alpha.
+// We sample ranks with the rejection-inversion method of Hörmann &
+// Derflinger (the sampler used by Apache Commons Math): O(1) expected time
+// per draw, no CDF table, exact for any alpha > 0 including alpha == 1.
+// Sampled ranks are optionally mapped through a 64-bit mixing bijection so
+// that hot keys are not adjacent integers (adjacent keys would make hash
+// tables look artificially good).
+
+#ifndef COTS_STREAM_ZIPF_GENERATOR_H_
+#define COTS_STREAM_ZIPF_GENERATOR_H_
+
+#include <cstdint>
+
+#include "stream/stream.h"
+#include "util/random.h"
+
+namespace cots {
+
+struct ZipfOptions {
+  /// Alphabet size |A|: ranks are drawn from [1, alphabet_size].
+  uint64_t alphabet_size = 5'000'000;
+  /// Skew. The paper evaluates alpha in [1.5, 3.0]; 0 would be uniform.
+  double alpha = 2.0;
+  uint64_t seed = 42;
+  /// Map ranks through a mixing bijection so key values are scattered.
+  bool permute_keys = true;
+};
+
+class ZipfGenerator {
+ public:
+  explicit ZipfGenerator(const ZipfOptions& options);
+
+  /// Draws one element. Thread-compatible (callers own one generator each).
+  ElementId Next();
+
+  /// Rank (1 = most frequent) drawn by the underlying sampler; exposed for
+  /// statistical tests of the sampler itself.
+  uint64_t NextRank();
+
+  /// The key a given rank maps to (applies the same permutation as Next()).
+  ElementId KeyOfRank(uint64_t rank) const;
+
+  /// Expected frequency of the rank-th most frequent element in a stream of
+  /// length n: n / (rank^alpha * zeta_A(alpha)).
+  double ExpectedFrequency(uint64_t rank, uint64_t n) const;
+
+  const ZipfOptions& options() const { return options_; }
+
+ private:
+  double HIntegral(double x) const;
+  double H(double x) const;
+  double HIntegralInverse(double x) const;
+
+  ZipfOptions options_;
+  Xoshiro256 rng_;
+  // Rejection-inversion precomputed constants.
+  double h_integral_x1_;
+  double h_integral_num_elements_;
+  double s_;
+  // Lazily computed truncated zeta over the alphabet.
+  mutable double zeta_ = 0.0;
+};
+
+/// Convenience builders used throughout tests and benches.
+Stream MakeZipfStream(uint64_t n, const ZipfOptions& options);
+Stream MakeUniformStream(uint64_t n, uint64_t alphabet_size, uint64_t seed);
+/// Every element identical; the worst case for element-level contention.
+Stream MakeConstantStream(uint64_t n, ElementId key);
+/// Cycles 0..alphabet_size-1; the worst case for churn/overwrites.
+Stream MakeRoundRobinStream(uint64_t n, uint64_t alphabet_size);
+/// Zipf whose hot set is re-randomized halfway through — exercises the
+/// structures under a distribution shift.
+Stream MakeSkewFlipStream(uint64_t n, const ZipfOptions& options);
+
+}  // namespace cots
+
+#endif  // COTS_STREAM_ZIPF_GENERATOR_H_

@@ -1,0 +1,143 @@
+#include "util/ebr.h"
+
+namespace cots {
+
+void EpochParticipant::Enter() {
+  if (depth_++ > 0) return;
+  // Announce-and-verify loop: the announced epoch must equal the global
+  // epoch at some instant, otherwise a concurrent advance could free
+  // garbage this reader is about to traverse.
+  uint64_t e = manager_->global_epoch_.load(std::memory_order_seq_cst);
+  for (;;) {
+    epoch_.store(e, std::memory_order_seq_cst);
+    const uint64_t now =
+        manager_->global_epoch_.load(std::memory_order_seq_cst);
+    if (now == e) break;
+    e = now;
+  }
+  if (e != last_seen_global_) {
+    // The epoch moved since we last looked: garbage retired two or more
+    // epochs ago is now unreachable by any reader.
+    if (e >= 2) FreeBucketsUpTo(e - 2);
+    last_seen_global_ = e;
+  }
+}
+
+void EpochParticipant::Exit() {
+  assert(depth_ > 0);
+  if (--depth_ > 0) return;
+  epoch_.store(kInactive, std::memory_order_release);
+}
+
+void EpochParticipant::RetireRaw(void* ptr, void (*deleter)(void*)) {
+  assert(active());
+  // Tag with the CURRENT global epoch, not our announced epoch: a reader
+  // that entered after us (at announced+1) may still reach this node, and
+  // tagging one epoch low would end its grace period one advance too soon.
+  const uint64_t e = manager_->global_epoch_.load(std::memory_order_seq_cst);
+  GarbageBucket& bucket = buckets_[e % kBuckets];
+  if (bucket.epoch != e) {
+    // The slot cycled to a new epoch; anything still in it was retired at
+    // bucket.epoch <= e - kBuckets < e - 2 and is free-able now.
+    for (const GarbageNode& node : bucket.nodes) node.deleter(node.ptr);
+    bucket.nodes.clear();
+    bucket.epoch = e;
+  }
+  bucket.nodes.push_back(GarbageNode{ptr, deleter});
+  if (++retires_since_advance_ >= kAdvanceEveryRetires) {
+    retires_since_advance_ = 0;
+    manager_->TryAdvance();
+  }
+}
+
+void EpochParticipant::FreeBucketsUpTo(uint64_t safe_epoch) {
+  for (GarbageBucket& bucket : buckets_) {
+    if (!bucket.nodes.empty() && bucket.epoch <= safe_epoch) {
+      for (const GarbageNode& node : bucket.nodes) node.deleter(node.ptr);
+      bucket.nodes.clear();
+    }
+  }
+}
+
+EpochManager::EpochManager(int max_participants)
+    : slots_(static_cast<size_t>(max_participants)) {
+  for (EpochParticipant& slot : slots_) slot.manager_ = this;
+}
+
+EpochManager::~EpochManager() { DrainAll(); }
+
+void EpochManager::DrainAll() {
+  // No readers can be active; free everything.
+  for (EpochParticipant& slot : slots_) {
+    slot.FreeBucketsUpTo(~uint64_t{0});
+  }
+  FreeOrphansUpTo(~uint64_t{0});
+}
+
+EpochParticipant* EpochManager::Register() {
+  for (EpochParticipant& slot : slots_) {
+    bool expected = false;
+    if (slot.claimed_.compare_exchange_strong(expected, true,
+                                              std::memory_order_acq_rel)) {
+      slot.depth_ = 0;
+      slot.last_seen_global_ = 0;
+      slot.retires_since_advance_ = 0;
+      return &slot;
+    }
+  }
+  return nullptr;
+}
+
+void EpochManager::Unregister(EpochParticipant* participant) {
+  assert(!participant->active());
+  for (EpochParticipant::GarbageBucket& bucket : participant->buckets_) {
+    if (!bucket.nodes.empty()) {
+      AddOrphans(std::move(bucket.nodes), bucket.epoch);
+      bucket.nodes.clear();
+    }
+  }
+  participant->claimed_.store(false, std::memory_order_release);
+}
+
+bool EpochManager::TryAdvance() {
+  const uint64_t e = global_epoch_.load(std::memory_order_seq_cst);
+  for (const EpochParticipant& slot : slots_) {
+    if (!slot.claimed_.load(std::memory_order_acquire)) continue;
+    const uint64_t local = slot.epoch_.load(std::memory_order_seq_cst);
+    if (local != EpochParticipant::kInactive && local != e) return false;
+  }
+  uint64_t expected = e;
+  if (!global_epoch_.compare_exchange_strong(expected, e + 1,
+                                             std::memory_order_seq_cst)) {
+    return false;
+  }
+  if (e + 1 >= 2) FreeOrphansUpTo(e + 1 - 2);
+  return true;
+}
+
+void EpochManager::AddOrphans(std::vector<EpochParticipant::GarbageNode> nodes,
+                              uint64_t epoch) {
+  std::lock_guard<std::mutex> lock(orphan_mu_);
+  orphans_.push_back(OrphanBatch{epoch, std::move(nodes)});
+}
+
+void EpochManager::FreeOrphansUpTo(uint64_t safe_epoch) {
+  std::vector<OrphanBatch> to_free;
+  {
+    std::lock_guard<std::mutex> lock(orphan_mu_);
+    auto it = orphans_.begin();
+    while (it != orphans_.end()) {
+      if (it->epoch <= safe_epoch) {
+        to_free.push_back(std::move(*it));
+        it = orphans_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (const OrphanBatch& batch : to_free) {
+    for (const auto& node : batch.nodes) node.deleter(node.ptr);
+  }
+}
+
+}  // namespace cots

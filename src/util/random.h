@@ -1,0 +1,79 @@
+// Copyright (c) the CoTS reproduction authors.
+//
+// Fast pseudo-random number generation for workload synthesis. The zipfian
+// generator draws hundreds of millions of samples per experiment, so we use
+// xoshiro256** (sub-nanosecond per draw) seeded via SplitMix64 rather than
+// std::mt19937_64.
+
+#ifndef COTS_UTIL_RANDOM_H_
+#define COTS_UTIL_RANDOM_H_
+
+#include <cstdint>
+
+namespace cots {
+
+/// SplitMix64: used to expand a single 64-bit seed into generator state.
+/// Passes BigCrush; recommended seeding procedure by the xoshiro authors.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  uint64_t state_;
+};
+
+/// xoshiro256**: general-purpose 64-bit generator with 2^256-1 period.
+class Xoshiro256 {
+ public:
+  explicit Xoshiro256(uint64_t seed = 0x2545F4914F6CDD1DULL) { Seed(seed); }
+
+  void Seed(uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.Next();
+  }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound) without modulo bias (Lemire's method).
+  uint64_t NextBounded(uint64_t bound) {
+    const __uint128_t m = static_cast<__uint128_t>(Next()) * bound;
+    return static_cast<uint64_t>(m >> 64);
+  }
+
+  /// Uniform double in [0, 1) with 53 bits of precision.
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  // UniformRandomBitGenerator interface for <algorithm> interop.
+  using result_type = uint64_t;
+  static constexpr uint64_t min() { return 0; }
+  static constexpr uint64_t max() { return ~0ULL; }
+  uint64_t operator()() { return Next(); }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t state_[4];
+};
+
+}  // namespace cots
+
+#endif  // COTS_UTIL_RANDOM_H_

@@ -1,0 +1,34 @@
+#include "util/status.h"
+
+namespace cots {
+
+std::string Status::ToString() const {
+  const char* name = "Unknown";
+  switch (code_) {
+    case Code::kOk:
+      return "OK";
+    case Code::kInvalidArgument:
+      name = "InvalidArgument";
+      break;
+    case Code::kNotFound:
+      name = "NotFound";
+      break;
+    case Code::kCapacityExceeded:
+      name = "CapacityExceeded";
+      break;
+    case Code::kNotSupported:
+      name = "NotSupported";
+      break;
+    case Code::kInternal:
+      name = "Internal";
+      break;
+  }
+  std::string out = name;
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace cots

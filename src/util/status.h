@@ -1,0 +1,69 @@
+// Copyright (c) the CoTS reproduction authors.
+//
+// A RocksDB-style Status type used for configuration-time and API-boundary
+// error reporting. Hot stream-processing paths never allocate or construct
+// non-OK Status objects.
+
+#ifndef COTS_UTIL_STATUS_H_
+#define COTS_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace cots {
+
+/// Outcome of an operation that can fail. Cheap to copy when OK (no
+/// allocation); carries a code and a message otherwise.
+class Status {
+ public:
+  enum class Code {
+    kOk = 0,
+    kInvalidArgument,
+    kNotFound,
+    kCapacityExceeded,
+    kNotSupported,
+    kInternal,
+  };
+
+  Status() : code_(Code::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(Code::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(Code::kNotFound, std::move(msg));
+  }
+  static Status CapacityExceeded(std::string msg) {
+    return Status(Code::kCapacityExceeded, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(Code::kNotSupported, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(Code::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
+  bool IsNotFound() const { return code_ == Code::kNotFound; }
+  bool IsCapacityExceeded() const { return code_ == Code::kCapacityExceeded; }
+  bool IsNotSupported() const { return code_ == Code::kNotSupported; }
+  bool IsInternal() const { return code_ == Code::kInternal; }
+
+  Code code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable rendering, e.g. "InvalidArgument: epsilon must be > 0".
+  std::string ToString() const;
+
+ private:
+  Status(Code code, std::string msg) : code_(code), message_(std::move(msg)) {}
+
+  Code code_;
+  std::string message_;
+};
+
+}  // namespace cots
+
+#endif  // COTS_UTIL_STATUS_H_

@@ -1,0 +1,37 @@
+// Copyright (c) the CoTS reproduction authors.
+
+#ifndef COTS_UTIL_STOPWATCH_H_
+#define COTS_UTIL_STOPWATCH_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace cots {
+
+/// Monotonic nanosecond clock reading.
+inline uint64_t NowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Wall-clock interval timer used by the benchmark harness.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(NowNanos()) {}
+
+  void Restart() { start_ = NowNanos(); }
+
+  uint64_t ElapsedNanos() const { return NowNanos() - start_; }
+  double ElapsedSeconds() const {
+    return static_cast<double>(ElapsedNanos()) * 1e-9;
+  }
+
+ private:
+  uint64_t start_;
+};
+
+}  // namespace cots
+
+#endif  // COTS_UTIL_STOPWATCH_H_

@@ -1,0 +1,33 @@
+#include "util/thread_utils.h"
+
+#include <thread>
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+namespace cots {
+
+int HardwareConcurrency() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+bool PinCurrentThreadToCpu(int cpu) {
+#if defined(__linux__)
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(cpu % HardwareConcurrency(), &set);
+  return pthread_setaffinity_np(pthread_self(), sizeof(set), &set) == 0;
+#else
+  (void)cpu;
+  return false;
+#endif
+}
+
+std::string CpuTopologySummary() {
+  return std::to_string(HardwareConcurrency()) + " hardware thread(s)";
+}
+
+}  // namespace cots

@@ -1,0 +1,26 @@
+// Copyright (c) the CoTS reproduction authors.
+
+#ifndef COTS_UTIL_THREAD_UTILS_H_
+#define COTS_UTIL_THREAD_UTILS_H_
+
+#include <string>
+
+namespace cots {
+
+/// Number of hardware execution contexts (cores × hardware threads).
+/// The paper's "fat camp" Q6600 reports 4; benches use this to pick thread
+/// sweeps and to label results.
+int HardwareConcurrency();
+
+/// Best-effort pinning of the calling thread to `cpu % HardwareConcurrency()`.
+/// Returns false when the platform call is unavailable or fails; callers
+/// treat pinning as a hint, never a requirement.
+bool PinCurrentThreadToCpu(int cpu);
+
+/// One-line description of the machine, printed in bench headers so results
+/// carry their topology (e.g. "4 hardware threads").
+std::string CpuTopologySummary();
+
+}  // namespace cots
+
+#endif  // COTS_UTIL_THREAD_UTILS_H_

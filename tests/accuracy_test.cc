@@ -1,0 +1,95 @@
+#include "core/accuracy.h"
+
+#include <gtest/gtest.h>
+
+#include "core/misra_gries.h"
+#include "core/space_saving.h"
+#include "stream/zipf_generator.h"
+
+namespace cots {
+namespace {
+
+TEST(AccuracyTest, PerfectSummaryScoresPerfect) {
+  SpaceSavingOptions opt;
+  opt.capacity = 100;
+  ASSERT_TRUE(opt.Validate().ok());
+  SpaceSaving ss(opt);
+  Stream s = {1, 1, 1, 2, 2, 3};
+  ss.Process(s);
+  ExactCounter exact(s);
+  AccuracyOptions aopt;
+  aopt.phi = 0.3;
+  aopt.top_k = 3;
+  AccuracyReport report = EvaluateAccuracy(ss, exact, aopt);
+  EXPECT_EQ(report.precision, 1.0);
+  EXPECT_EQ(report.recall, 1.0);
+  EXPECT_EQ(report.avg_relative_error, 0.0);
+  EXPECT_EQ(report.max_overestimate, 0u);
+  EXPECT_EQ(report.underestimates, 0u);
+  EXPECT_EQ(report.bound_violations, 0u);
+  EXPECT_EQ(report.monitored, 3u);
+}
+
+TEST(AccuracyTest, SpaceSavingNeverViolatesBounds) {
+  ZipfOptions zopt;
+  zopt.alphabet_size = 3000;
+  zopt.alpha = 1.5;
+  Stream s = MakeZipfStream(40000, zopt);
+  SpaceSavingOptions opt;
+  opt.capacity = 50;
+  ASSERT_TRUE(opt.Validate().ok());
+  SpaceSaving ss(opt);
+  ss.Process(s);
+  ExactCounter exact(s);
+  AccuracyOptions aopt;
+  // phi*N = 1000 > N/m = 800, so Space Saving guarantees full recall.
+  aopt.phi = 0.025;
+  AccuracyReport report = EvaluateAccuracy(ss, exact, aopt);
+  EXPECT_EQ(report.underestimates, 0u);
+  EXPECT_EQ(report.bound_violations, 0u);
+  EXPECT_EQ(report.recall, 1.0);
+}
+
+TEST(AccuracyTest, MisraGriesUnderestimatesAreCounted) {
+  ZipfOptions zopt;
+  zopt.alphabet_size = 500;
+  zopt.alpha = 1.5;
+  Stream s = MakeZipfStream(20000, zopt);
+  MisraGriesOptions opt;
+  opt.capacity = 8;
+  MisraGries mg(opt);
+  mg.Process(s);
+  ExactCounter exact(s);
+  AccuracyOptions aopt;
+  AccuracyReport report = EvaluateAccuracy(mg, exact, aopt);
+  // Misra-Gries under-estimates but never violates its (inverted) bound.
+  EXPECT_EQ(report.max_overestimate, 0u);
+  EXPECT_GT(report.underestimates, 0u);
+}
+
+TEST(AccuracyTest, SmallCapacityDegradesPrecision) {
+  ZipfOptions zopt;
+  zopt.alphabet_size = 5000;
+  zopt.alpha = 1.1;  // long flat tail: eviction churn inflates estimates
+  Stream s = MakeZipfStream(30000, zopt);
+  ExactCounter exact(s);
+
+  auto report_for = [&](size_t capacity) {
+    SpaceSavingOptions opt;
+    opt.capacity = capacity;
+    EXPECT_TRUE(opt.Validate().ok());
+    SpaceSaving ss(opt);
+    ss.Process(s);
+    AccuracyOptions aopt;
+    aopt.phi = 0.002;
+    return EvaluateAccuracy(ss, exact, aopt);
+  };
+
+  AccuracyReport small = report_for(8);
+  AccuracyReport large = report_for(2048);
+  EXPECT_LE(large.avg_relative_error, small.avg_relative_error);
+  EXPECT_LE(large.max_overestimate, small.max_overestimate);
+}
+
+}  // namespace
+}  // namespace cots

@@ -1,0 +1,93 @@
+#include "cots/adaptive_processor.h"
+
+#include <gtest/gtest.h>
+
+#include "stream/exact_counter.h"
+#include "stream/zipf_generator.h"
+
+namespace cots {
+namespace {
+
+TEST(AdaptiveOptionsTest, Validate) {
+  AdaptiveOptions opt;
+  EXPECT_TRUE(opt.Validate().ok());
+  opt.num_threads = 0;
+  EXPECT_TRUE(opt.Validate().IsInvalidArgument());
+  opt = AdaptiveOptions{};
+  opt.min_active_threads = 5;  // > num_threads
+  EXPECT_TRUE(opt.Validate().IsInvalidArgument());
+  opt = AdaptiveOptions{};
+  opt.rho = opt.sigma;
+  EXPECT_TRUE(opt.Validate().IsInvalidArgument());
+  opt = AdaptiveOptions{};
+  opt.chunk = 0;
+  EXPECT_TRUE(opt.Validate().IsInvalidArgument());
+}
+
+TEST(AdaptiveProcessorTest, ProcessesWholeStream) {
+  CotsSpaceSavingOptions eopt;
+  eopt.capacity = 64;
+  ASSERT_TRUE(eopt.Validate().ok());
+  CotsSpaceSaving engine(eopt);
+
+  AdaptiveOptions aopt;
+  aopt.num_threads = 4;
+  ASSERT_TRUE(aopt.Validate().ok());
+  AdaptiveStreamProcessor processor(&engine, aopt);
+
+  ZipfOptions zopt;
+  zopt.alphabet_size = 1000;
+  zopt.alpha = 2.0;
+  const uint64_t n = 30000;
+  Stream s = MakeZipfStream(n, zopt);
+  AdaptiveRunResult result = processor.Run(s);
+
+  EXPECT_EQ(result.elements_processed, n);
+  EXPECT_EQ(engine.stream_length(), n);
+  std::string why;
+  EXPECT_TRUE(engine.CheckInvariantsQuiescent(&why)) << why;
+
+  ExactCounter exact(s);
+  for (const Counter& c : engine.CountersDescending()) {
+    EXPECT_GE(c.count, exact.Count(c.key));
+  }
+}
+
+TEST(AdaptiveProcessorTest, AverageActiveWithinBounds) {
+  CotsSpaceSavingOptions eopt;
+  eopt.capacity = 16;
+  ASSERT_TRUE(eopt.Validate().ok());
+  CotsSpaceSaving engine(eopt);
+
+  AdaptiveOptions aopt;
+  aopt.num_threads = 4;
+  aopt.min_active_threads = 1;
+  aopt.control_period_us = 100;
+  ASSERT_TRUE(aopt.Validate().ok());
+  AdaptiveStreamProcessor processor(&engine, aopt);
+
+  // Constant stream: maximal same-element delegation.
+  Stream s = MakeConstantStream(60000, 7);
+  AdaptiveRunResult result = processor.Run(s);
+  EXPECT_EQ(engine.Lookup(7)->count, 60000u);
+  EXPECT_GE(result.avg_active_threads, 1.0);
+  EXPECT_LE(result.avg_active_threads, 4.0);
+}
+
+TEST(AdaptiveProcessorTest, SingleThreadDegenerate) {
+  CotsSpaceSavingOptions eopt;
+  eopt.capacity = 8;
+  ASSERT_TRUE(eopt.Validate().ok());
+  CotsSpaceSaving engine(eopt);
+  AdaptiveOptions aopt;
+  aopt.num_threads = 1;
+  ASSERT_TRUE(aopt.Validate().ok());
+  AdaptiveStreamProcessor processor(&engine, aopt);
+  Stream s = MakeRoundRobinStream(5000, 100);
+  AdaptiveRunResult result = processor.Run(s);
+  EXPECT_EQ(result.elements_processed, 5000u);
+  EXPECT_EQ(engine.stream_length(), 5000u);
+}
+
+}  // namespace
+}  // namespace cots

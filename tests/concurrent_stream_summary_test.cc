@@ -1,0 +1,234 @@
+// Direct tests of the Concurrent Stream Summary machinery that the engine
+// tests only exercise indirectly: single-threaded request processing
+// (deterministic with one thread), bucket garbage collection, eviction
+// requests, and the queue-depth signal.
+
+#include "cots/concurrent_stream_summary.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "cots/delegation_hash_table.h"
+#include "util/ebr.h"
+
+namespace cots {
+namespace {
+
+class ConcurrentStreamSummaryTest : public ::testing::Test {
+ protected:
+  explicit ConcurrentStreamSummaryTest(size_t capacity = 4)
+      : epochs_(16),
+        table_(TableOptions(), &epochs_),
+        summary_(SummaryOptions(capacity), &table_, &epochs_) {
+    participant_ = epochs_.Register();
+  }
+  ~ConcurrentStreamSummaryTest() override {
+    epochs_.Unregister(participant_);
+    epochs_.DrainAll();
+  }
+
+  static DelegationHashTableOptions TableOptions() {
+    DelegationHashTableOptions opt;
+    opt.buckets = 64;
+    return opt;
+  }
+  static ConcurrentStreamSummaryOptions SummaryOptions(size_t capacity) {
+    ConcurrentStreamSummaryOptions opt;
+    opt.capacity = capacity;
+    return opt;
+  }
+
+  // Drives one element occurrence end to end, like the engine does.
+  void Offer(ElementId e, uint64_t delta = 1) {
+    EpochGuard guard(participant_);
+    auto r = table_.Delegate(e);
+    if (!r.owner) return;
+    summary_.CrossBoundary(r.entry, r.newly_inserted, delta, 1, participant_);
+  }
+
+  uint64_t CountOf(ElementId e) {
+    EpochGuard guard(participant_);
+    DelegationHashTable::Entry* entry = table_.Find(e);
+    if (entry == nullptr) return 0;
+    SummaryNode* node = entry->node.load();
+    return node == nullptr ? 0 : node->freq;
+  }
+
+  EpochManager epochs_;
+  DelegationHashTable table_;
+  ConcurrentStreamSummary summary_;
+  EpochParticipant* participant_ = nullptr;
+};
+
+TEST_F(ConcurrentStreamSummaryTest, OptionsValidate) {
+  ConcurrentStreamSummaryOptions opt;
+  EXPECT_TRUE(opt.Validate().IsInvalidArgument());
+  opt.epsilon = 0.1;
+  ASSERT_TRUE(opt.Validate().ok());
+  EXPECT_EQ(opt.capacity, 10u);
+}
+
+TEST_F(ConcurrentStreamSummaryTest, SingleAddCreatesBucket) {
+  Offer(7);
+  EXPECT_EQ(summary_.num_monitored(), 1u);
+  EXPECT_EQ(CountOf(7), 1u);
+  EXPECT_TRUE(summary_.CheckInvariantsQuiescent(1));
+}
+
+TEST_F(ConcurrentStreamSummaryTest, IncrementsChainThroughBuckets) {
+  Offer(1);
+  Offer(2);
+  Offer(1);
+  Offer(1);
+  EXPECT_EQ(CountOf(1), 3u);
+  EXPECT_EQ(CountOf(2), 1u);
+  EXPECT_TRUE(summary_.CheckInvariantsQuiescent(4));
+}
+
+TEST_F(ConcurrentStreamSummaryTest, WeightedAddAndBulkIncrement) {
+  Offer(9, 10);
+  Offer(9, 5);
+  EXPECT_EQ(CountOf(9), 15u);
+  EXPECT_TRUE(summary_.CheckInvariantsQuiescent(15));
+}
+
+TEST_F(ConcurrentStreamSummaryTest, OverwriteAtCapacity) {
+  // Capacity 4: the fifth distinct element must overwrite the minimum.
+  for (ElementId e = 1; e <= 4; ++e) Offer(e);
+  Offer(4);  // raise 4 so the min set is {1,2,3}
+  Offer(100);
+  EXPECT_EQ(summary_.num_monitored(), 4u);
+  EXPECT_EQ(CountOf(100), 2u);  // victim count 1 + delta 1
+  EXPECT_TRUE(summary_.CheckInvariantsQuiescent(6));
+}
+
+TEST_F(ConcurrentStreamSummaryTest, MinFreqReportsFirstLiveBucket) {
+  for (ElementId e = 1; e <= 4; ++e) Offer(e);
+  EXPECT_EQ(summary_.MinFreq(participant_), 1u);
+  Offer(1);
+  Offer(2);
+  Offer(3);
+  Offer(4);
+  EXPECT_EQ(summary_.MinFreq(participant_), 2u);
+}
+
+TEST_F(ConcurrentStreamSummaryTest, MinFreqZeroWhileNotFull) {
+  Offer(1);
+  EXPECT_EQ(summary_.MinFreq(participant_), 0u);
+}
+
+TEST_F(ConcurrentStreamSummaryTest, CountersDescendingIsSortedSnapshot) {
+  Offer(1);
+  Offer(2);
+  Offer(2);
+  Offer(3);
+  Offer(3);
+  Offer(3);
+  std::vector<Counter> counters = summary_.CountersDescending(participant_);
+  ASSERT_EQ(counters.size(), 3u);
+  EXPECT_EQ(counters[0].key, 3u);
+  EXPECT_EQ(counters[1].key, 2u);
+  EXPECT_EQ(counters[2].key, 1u);
+}
+
+TEST_F(ConcurrentStreamSummaryTest, GarbageCollectionRecyclesBuckets) {
+  // Walk one element up through many frequencies: each step empties the
+  // old singleton bucket, which must be GC'd, not accumulated.
+  for (int i = 0; i < 1000; ++i) Offer(5);
+  const auto& stats = summary_.stats();
+  EXPECT_GT(stats.buckets_created.load(), 900u);
+  EXPECT_GT(stats.buckets_garbage_collected.load(), 900u);
+  EXPECT_TRUE(summary_.CheckInvariantsQuiescent(1000));
+}
+
+TEST_F(ConcurrentStreamSummaryTest, QueueDepthQuietAtRest) {
+  Offer(1);
+  Offer(2);
+  EXPECT_EQ(summary_.ApproxQueueDepth(), 0u);
+}
+
+TEST_F(ConcurrentStreamSummaryTest, StatsCountBulkIncrements) {
+  // Single-threaded, bulk increments cannot occur (no concurrent logging).
+  for (int i = 0; i < 100; ++i) Offer(3);
+  EXPECT_EQ(summary_.stats().bulk_increments.load(), 0u);
+}
+
+TEST(ConcurrentStreamSummaryEvictTest, EvictDropsLowFrequencies) {
+  EpochManager epochs(8);
+  DelegationHashTableOptions topt;
+  topt.buckets = 64;
+  DelegationHashTable table(topt, &epochs);
+  ConcurrentStreamSummaryOptions sopt;
+  sopt.capacity = 100;
+  sopt.always_admit = true;
+  ConcurrentStreamSummary summary(sopt, &table, &epochs);
+  EpochParticipant* p = epochs.Register();
+
+  auto offer = [&](ElementId e, uint64_t times) {
+    for (uint64_t i = 0; i < times; ++i) {
+      EpochGuard guard(p);
+      auto r = table.Delegate(e);
+      if (r.owner) summary.CrossBoundary(r.entry, r.newly_inserted, 1, 1, p);
+    }
+  };
+  offer(1, 5);
+  offer(2, 2);
+  offer(3, 1);
+  EXPECT_EQ(summary.num_monitored(), 3u);
+  {
+    EpochGuard guard(p);
+    summary.EvictUpTo(2, p);  // drops 2 and 3, keeps 1
+  }
+  EXPECT_EQ(summary.num_monitored(), 1u);
+  {
+    EpochGuard guard(p);
+    EXPECT_EQ(table.Find(2), nullptr);
+    EXPECT_EQ(table.Find(3), nullptr);
+    EXPECT_NE(table.Find(1), nullptr);
+  }
+  std::string why;
+  EXPECT_TRUE(summary.CheckInvariantsQuiescent(~uint64_t{0}, &why)) << why;
+  epochs.Unregister(p);
+  epochs.DrainAll();
+}
+
+TEST(ConcurrentStreamSummaryEvictTest, EvictedElementsCanReenter) {
+  EpochManager epochs(8);
+  DelegationHashTableOptions topt;
+  topt.buckets = 64;
+  DelegationHashTable table(topt, &epochs);
+  ConcurrentStreamSummaryOptions sopt;
+  sopt.capacity = 100;
+  sopt.always_admit = true;
+  ConcurrentStreamSummary summary(sopt, &table, &epochs);
+  EpochParticipant* p = epochs.Register();
+
+  auto offer = [&](ElementId e, uint64_t error_base) {
+    EpochGuard guard(p);
+    auto r = table.Delegate(e);
+    if (r.owner) {
+      summary.CrossBoundary(r.entry, r.newly_inserted, 1, 1, p, error_base);
+    }
+  };
+  offer(7, 0);
+  {
+    EpochGuard guard(p);
+    summary.EvictUpTo(1, p);
+  }
+  EXPECT_EQ(summary.num_monitored(), 0u);
+  offer(7, 3);  // re-enters with Lossy Counting style error
+  EXPECT_EQ(summary.num_monitored(), 1u);
+  {
+    EpochGuard guard(p);
+    SummaryNode* node = table.Find(7)->node.load();
+    ASSERT_NE(node, nullptr);
+    EXPECT_EQ(node->freq, 4u);   // delta 1 + error 3
+    EXPECT_EQ(node->error, 3u);
+  }
+  epochs.Unregister(p);
+  epochs.DrainAll();
+}
+
+}  // namespace
+}  // namespace cots

@@ -1,0 +1,121 @@
+#include "core/continuous_monitor.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "core/space_saving.h"
+#include "cots/cots_space_saving.h"
+#include "stream/zipf_generator.h"
+
+namespace cots {
+namespace {
+
+TEST(ContinuousMonitorOptionsTest, ExactlyOneModeRequired) {
+  ContinuousMonitorOptions opt;
+  EXPECT_TRUE(opt.Validate().IsInvalidArgument());  // neither
+  opt.every_updates = 100;
+  EXPECT_TRUE(opt.Validate().ok());
+  opt.every_micros = 100;
+  EXPECT_TRUE(opt.Validate().IsInvalidArgument());  // both
+  opt.every_updates = 0;
+  EXPECT_TRUE(opt.Validate().ok());
+}
+
+TEST(ContinuousMonitorTest, CountSpacedFiresPerInterval) {
+  CotsSpaceSavingOptions eopt;
+  eopt.capacity = 64;
+  ASSERT_TRUE(eopt.Validate().ok());
+  CotsSpaceSaving engine(eopt);
+
+  ContinuousMonitorOptions mopt;
+  mopt.every_updates = 1000;
+  ASSERT_TRUE(mopt.Validate().ok());
+  std::atomic<uint64_t> callbacks{0};
+  std::atomic<uint64_t> last_n{0};
+  ContinuousMonitor monitor(
+      &engine, mopt, [&](const QueryEngine& queries, uint64_t n) {
+        callbacks.fetch_add(1);
+        last_n.store(n);
+        queries.TopK(3);  // snapshot must be usable inside the callback
+      });
+  monitor.Start();
+
+  auto handle = engine.RegisterThread();
+  ZipfOptions zopt;
+  zopt.alphabet_size = 100;
+  zopt.alpha = 2.0;
+  for (ElementId e : MakeZipfStream(10000, zopt)) handle->Offer(e);
+
+  // Give the monitor a moment to observe the final interval.
+  for (int i = 0; i < 200 && last_n.load() < 10000; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  monitor.Stop();
+  // 10 intervals of 1000; the monitor may coalesce several if it lags, so
+  // it must fire at least once and at most once per interval.
+  EXPECT_GE(monitor.queries_fired(), 1u);
+  EXPECT_LE(monitor.queries_fired(), 10u);
+  EXPECT_EQ(callbacks.load(), monitor.queries_fired());
+}
+
+TEST(ContinuousMonitorTest, TimeSpacedFires) {
+  SpaceSavingOptions sopt;
+  sopt.capacity = 16;
+  ASSERT_TRUE(sopt.Validate().ok());
+  SpaceSaving summary(sopt);
+  summary.Offer(1);
+
+  ContinuousMonitorOptions mopt;
+  mopt.every_micros = 1000;  // 1ms
+  ASSERT_TRUE(mopt.Validate().ok());
+  std::atomic<uint64_t> callbacks{0};
+  ContinuousMonitor monitor(&summary, mopt,
+                            [&](const QueryEngine&, uint64_t) {
+                              callbacks.fetch_add(1);
+                            });
+  monitor.Start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  monitor.Stop();
+  EXPECT_GE(callbacks.load(), 5u);    // ~50 expected; be generous
+  EXPECT_LE(callbacks.load(), 200u);  // but not unbounded
+}
+
+TEST(ContinuousMonitorTest, StartStopIdempotent) {
+  SpaceSavingOptions sopt;
+  sopt.capacity = 4;
+  ASSERT_TRUE(sopt.Validate().ok());
+  SpaceSaving summary(sopt);
+  ContinuousMonitorOptions mopt;
+  mopt.every_updates = 10;
+  ContinuousMonitor monitor(&summary, mopt,
+                            [](const QueryEngine&, uint64_t) {});
+  monitor.Start();
+  monitor.Start();  // no-op
+  monitor.Stop();
+  monitor.Stop();  // no-op
+  monitor.Start();  // restartable
+  monitor.Stop();
+  SUCCEED();
+}
+
+TEST(ContinuousMonitorTest, DestructorStops) {
+  SpaceSavingOptions sopt;
+  sopt.capacity = 4;
+  ASSERT_TRUE(sopt.Validate().ok());
+  SpaceSaving summary(sopt);
+  ContinuousMonitorOptions mopt;
+  mopt.every_micros = 500;
+  {
+    ContinuousMonitor monitor(&summary, mopt,
+                              [](const QueryEngine&, uint64_t) {});
+    monitor.Start();
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }  // must join cleanly
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace cots

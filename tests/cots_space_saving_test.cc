@@ -1,0 +1,386 @@
+#include "cots/cots_space_saving.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include "stream/exact_counter.h"
+#include "stream/zipf_generator.h"
+
+namespace cots {
+namespace {
+
+CotsSpaceSavingOptions MakeOptions(size_t capacity) {
+  CotsSpaceSavingOptions opt;
+  opt.capacity = capacity;
+  EXPECT_TRUE(opt.Validate().ok());
+  return opt;
+}
+
+TEST(CotsOptionsTest, Validate) {
+  CotsSpaceSavingOptions opt;
+  EXPECT_TRUE(opt.Validate().IsInvalidArgument());
+  opt.epsilon = 0.01;
+  ASSERT_TRUE(opt.Validate().ok());
+  EXPECT_EQ(opt.capacity, 100u);
+  EXPECT_EQ(opt.hash_buckets, 400u);
+  opt = CotsSpaceSavingOptions{};
+  opt.capacity = 10;
+  opt.max_threads = 1;
+  EXPECT_TRUE(opt.Validate().IsInvalidArgument());
+}
+
+TEST(CotsSpaceSavingTest, SingleThreadBasicCounting) {
+  CotsSpaceSaving engine(MakeOptions(10));
+  auto handle = engine.RegisterThread();
+  ASSERT_NE(handle, nullptr);
+  for (ElementId e : Stream{1, 2, 2, 3, 3, 3}) handle->Offer(e);
+  EXPECT_EQ(engine.stream_length(), 6u);
+  EXPECT_EQ(engine.num_counters(), 3u);
+  EXPECT_EQ(handle->Lookup(3)->count, 3u);
+  EXPECT_EQ(handle->Lookup(2)->count, 2u);
+  EXPECT_EQ(handle->Lookup(1)->count, 1u);
+  EXPECT_EQ(handle->Lookup(1)->error, 0u);
+  EXPECT_FALSE(handle->Lookup(99).has_value());
+  EXPECT_TRUE(engine.CheckInvariantsQuiescent());
+}
+
+TEST(CotsSpaceSavingTest, OverwriteEvictsAndCarriesError) {
+  CotsSpaceSaving engine(MakeOptions(2));
+  auto handle = engine.RegisterThread();
+  handle->Offer(1);
+  handle->Offer(2);
+  handle->Offer(2);
+  handle->Offer(3);  // capacity 2: must overwrite element 1 (freq 1)
+  EXPECT_FALSE(handle->Lookup(1).has_value());
+  ASSERT_TRUE(handle->Lookup(3).has_value());
+  EXPECT_EQ(handle->Lookup(3)->count, 2u);
+  EXPECT_EQ(handle->Lookup(3)->error, 1u);
+  EXPECT_EQ(engine.num_counters(), 2u);
+  EXPECT_TRUE(engine.CheckInvariantsQuiescent());
+}
+
+TEST(CotsSpaceSavingTest, CountersDescendingSorted) {
+  CotsSpaceSaving engine(MakeOptions(50));
+  auto handle = engine.RegisterThread();
+  ZipfOptions zopt;
+  zopt.alphabet_size = 40;
+  zopt.alpha = 1.5;
+  for (ElementId e : MakeZipfStream(5000, zopt)) handle->Offer(e);
+  std::vector<Counter> counters = handle->CountersDescending();
+  ASSERT_FALSE(counters.empty());
+  uint64_t total = 0;
+  for (size_t i = 0; i < counters.size(); ++i) {
+    if (i > 0) {
+      EXPECT_GE(counters[i - 1].count, counters[i].count);
+    }
+    total += counters[i].count;
+  }
+  EXPECT_EQ(total, 5000u);
+  EXPECT_TRUE(engine.CheckInvariantsQuiescent());
+}
+
+TEST(CotsSpaceSavingTest, WeightedOffersConserve) {
+  CotsSpaceSaving engine(MakeOptions(4));
+  auto handle = engine.RegisterThread();
+  handle->Offer(1, 10);
+  handle->Offer(2, 5);
+  handle->Offer(1, 3);
+  EXPECT_EQ(engine.stream_length(), 18u);
+  EXPECT_EQ(handle->Lookup(1)->count, 13u);
+  EXPECT_EQ(handle->Lookup(2)->count, 5u);
+  EXPECT_TRUE(engine.CheckInvariantsQuiescent());
+}
+
+TEST(CotsSpaceSavingTest, SharedQueryInterface) {
+  CotsSpaceSaving engine(MakeOptions(8));
+  auto handle = engine.RegisterThread();
+  handle->Offer(5);
+  handle->Offer(5);
+  // Unregistered-thread path through the FrequencySummary interface.
+  EXPECT_EQ(engine.Lookup(5)->count, 2u);
+  EXPECT_EQ(engine.CountersDescending().size(), 1u);
+  EXPECT_EQ(engine.MinFreq(), 0u);  // not full
+}
+
+TEST(CotsSpaceSavingTest, MinFreqBoundsUnmonitored) {
+  CotsSpaceSaving engine(MakeOptions(8));
+  auto handle = engine.RegisterThread();
+  ZipfOptions zopt;
+  zopt.alphabet_size = 1000;
+  zopt.alpha = 1.5;
+  Stream s = MakeZipfStream(20000, zopt);
+  for (ElementId e : s) handle->Offer(e);
+  ExactCounter exact(s);
+  const uint64_t bound = engine.MinFreq();
+  EXPECT_GT(bound, 0u);
+  for (const auto& [key, truth] : exact.counts()) {
+    if (!handle->Lookup(key).has_value()) {
+      EXPECT_LE(truth, bound) << "key " << key;
+    }
+  }
+}
+
+TEST(CotsSpaceSavingTest, RegisterThreadExhaustsSlots) {
+  CotsSpaceSavingOptions opt;
+  opt.capacity = 4;
+  opt.max_threads = 3;  // one slot goes to the shared query participant
+  ASSERT_TRUE(opt.Validate().ok());
+  CotsSpaceSaving engine(opt);
+  auto a = engine.RegisterThread();
+  auto b = engine.RegisterThread();
+  EXPECT_NE(a, nullptr);
+  EXPECT_NE(b, nullptr);
+  EXPECT_EQ(engine.RegisterThread(), nullptr);
+  a.reset();
+  EXPECT_NE(engine.RegisterThread(), nullptr);
+}
+
+// The central correctness sweep: for every (threads, alpha, capacity), the
+// Space Saving guarantees hold at quiescence no matter how the stream was
+// interleaved across threads.
+class CotsStressTest
+    : public ::testing::TestWithParam<std::tuple<int, double, size_t>> {};
+
+TEST_P(CotsStressTest, GuaranteesHoldUnderConcurrency) {
+  const int threads = std::get<0>(GetParam());
+  const double alpha = std::get<1>(GetParam());
+  const size_t capacity = std::get<2>(GetParam());
+
+  CotsSpaceSaving engine(MakeOptions(capacity));
+  ZipfOptions zopt;
+  zopt.alphabet_size = 4000;  // >> capacity: exercises overwrite/GC heavily
+  zopt.alpha = alpha;
+  zopt.seed = 1234;
+  const uint64_t n = 40000;
+  Stream s = MakeZipfStream(n, zopt);
+
+  std::vector<std::thread> workers;
+  const uint64_t slice = n / static_cast<uint64_t>(threads);
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      auto handle = engine.RegisterThread();
+      ASSERT_NE(handle, nullptr);
+      const uint64_t begin = slice * static_cast<uint64_t>(t);
+      const uint64_t end = t == threads - 1 ? n : begin + slice;
+      for (uint64_t i = begin; i < end; ++i) handle->Offer(s[i]);
+    });
+  }
+  for (std::thread& w : workers) w.join();
+
+  // P1 + structural: conservation and full internal consistency.
+  std::string why;
+  ASSERT_TRUE(engine.CheckInvariantsQuiescent(&why)) << why;
+  EXPECT_EQ(engine.stream_length(), n);
+
+  // P2: per-element bounds vs ground truth.
+  ExactCounter exact(s);
+  for (const Counter& c : engine.CountersDescending()) {
+    const uint64_t truth = exact.Count(c.key);
+    EXPECT_LE(truth, c.count) << "key " << c.key;
+    EXPECT_LE(c.count, truth + c.error) << "key " << c.key;
+  }
+
+  // P3/P4: frequent elements above N/m are monitored.
+  for (const auto& [key, truth] : exact.counts()) {
+    if (truth > n / capacity) {
+      EXPECT_TRUE(engine.Lookup(key).has_value())
+          << "key " << key << " freq " << truth;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ThreadsByAlphaByCapacity, CotsStressTest,
+    ::testing::Combine(::testing::Values(1, 2, 4, 8),
+                       ::testing::Values(1.1, 2.0, 3.0),
+                       ::testing::Values(size_t{8}, size_t{64}, size_t{512})));
+
+TEST(CotsSpaceSavingTest, ConstantStreamBulkIncrements) {
+  // Every thread hammers one element: the delegation model should collapse
+  // most occurrences into bulk increments instead of serializing threads.
+  CotsSpaceSaving engine(MakeOptions(4));
+  const int kThreads = 4;
+  const uint64_t kPerThread = 10000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&] {
+      auto handle = engine.RegisterThread();
+      ASSERT_NE(handle, nullptr);
+      for (uint64_t i = 0; i < kPerThread; ++i) handle->Offer(42);
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(engine.Lookup(42)->count, kThreads * kPerThread);
+  EXPECT_EQ(engine.num_counters(), 1u);
+  EXPECT_TRUE(engine.CheckInvariantsQuiescent());
+}
+
+TEST(CotsSpaceSavingTest, RoundRobinChurnTinyCapacity) {
+  // Worst case for overwrite/defer/GC: alphabet >> capacity, uniform-ish.
+  CotsSpaceSaving engine(MakeOptions(2));
+  const int kThreads = 4;
+  Stream s = MakeRoundRobinStream(20000, 500);
+  std::vector<std::thread> workers;
+  const size_t slice = s.size() / kThreads;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      auto handle = engine.RegisterThread();
+      ASSERT_NE(handle, nullptr);
+      const size_t begin = slice * static_cast<size_t>(t);
+      const size_t end = t == kThreads - 1 ? s.size() : begin + slice;
+      for (size_t i = begin; i < end; ++i) handle->Offer(s[i]);
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  std::string why;
+  EXPECT_TRUE(engine.CheckInvariantsQuiescent(&why)) << why;
+  EXPECT_EQ(engine.stream_length(), 20000u);
+  EXPECT_EQ(engine.num_counters(), 2u);
+}
+
+TEST(CotsSpaceSavingTest, SkewFlipAdaptsHotSet) {
+  CotsSpaceSaving engine(MakeOptions(32));
+  ZipfOptions zopt;
+  zopt.alphabet_size = 2000;
+  zopt.alpha = 2.5;
+  Stream s = MakeSkewFlipStream(30000, zopt);
+  const int kThreads = 2;
+  std::vector<std::thread> workers;
+  const size_t slice = s.size() / kThreads;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      auto handle = engine.RegisterThread();
+      const size_t begin = slice * static_cast<size_t>(t);
+      const size_t end = t == kThreads - 1 ? s.size() : begin + slice;
+      for (size_t i = begin; i < end; ++i) handle->Offer(s[i]);
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  ASSERT_TRUE(engine.CheckInvariantsQuiescent());
+  // The flipped second-half heavy hitter must now be monitored.
+  ExactCounter exact(s);
+  std::vector<ElementId> top = exact.TopK(3);
+  for (ElementId e : top) {
+    EXPECT_TRUE(engine.Lookup(e).has_value()) << "hot key " << e;
+  }
+}
+
+TEST(CotsSpaceSavingTest, ConcurrentQueriesDuringWrites) {
+  CotsSpaceSaving engine(MakeOptions(64));
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    auto handle = engine.RegisterThread();
+    ASSERT_NE(handle, nullptr);
+    while (!stop.load()) {
+      std::vector<Counter> counters = handle->CountersDescending();
+      EXPECT_LE(counters.size(), 64u * 2 + 64);  // defensive bound holds
+      handle->Lookup(1);
+    }
+  });
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 2; ++t) {
+    writers.emplace_back([&, t] {
+      auto handle = engine.RegisterThread();
+      ASSERT_NE(handle, nullptr);
+      ZipfOptions zopt;
+      zopt.alphabet_size = 1000;
+      zopt.alpha = 2.0;
+      zopt.seed = 55 + static_cast<uint64_t>(t);
+      for (ElementId e : MakeZipfStream(30000, zopt)) handle->Offer(e);
+    });
+  }
+  for (std::thread& w : writers) w.join();
+  stop.store(true);
+  reader.join();
+  EXPECT_TRUE(engine.CheckInvariantsQuiescent());
+}
+
+TEST(CotsSpaceSavingTest, StatsReflectDelegation) {
+  CotsSpaceSaving engine(MakeOptions(16));
+  const int kThreads = 4;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&] {
+      auto handle = engine.RegisterThread();
+      for (uint64_t i = 0; i < 20000; ++i) handle->Offer(7);  // one hot key
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  // With one core this can degenerate to near-serial execution, but any
+  // overlap at all shows up as bulk increments; buckets were created as the
+  // counter climbed.
+  EXPECT_GT(engine.stats().buckets_created.load(), 0u);
+  EXPECT_TRUE(engine.CheckInvariantsQuiescent());
+}
+
+TEST(CotsSpaceSavingTest, OfferBatchMatchesLoop) {
+  CotsSpaceSaving batched(MakeOptions(32));
+  CotsSpaceSaving looped(MakeOptions(32));
+  ZipfOptions zopt;
+  zopt.alphabet_size = 500;
+  zopt.alpha = 2.0;
+  Stream s = MakeZipfStream(20000, zopt);
+  {
+    auto handle = batched.RegisterThread();
+    constexpr size_t kBatch = 256;
+    for (size_t i = 0; i < s.size(); i += kBatch) {
+      handle->OfferBatch(s.data() + i, std::min(kBatch, s.size() - i));
+    }
+  }
+  {
+    auto handle = looped.RegisterThread();
+    for (ElementId e : s) handle->Offer(e);
+  }
+  EXPECT_EQ(batched.stream_length(), looped.stream_length());
+  std::vector<Counter> a = batched.CountersDescending();
+  std::vector<Counter> b = looped.CountersDescending();
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].key, b[i].key) << i;
+    EXPECT_EQ(a[i].count, b[i].count) << i;
+  }
+  EXPECT_TRUE(batched.CheckInvariantsQuiescent());
+}
+
+TEST(CotsSpaceSavingTest, OfferBatchConcurrent) {
+  CotsSpaceSaving engine(MakeOptions(64));
+  ZipfOptions zopt;
+  zopt.alphabet_size = 2000;
+  zopt.alpha = 2.0;
+  Stream s = MakeZipfStream(40000, zopt);
+  const int kThreads = 4;
+  std::vector<std::thread> workers;
+  const size_t slice = s.size() / kThreads;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      auto handle = engine.RegisterThread();
+      const size_t begin = slice * static_cast<size_t>(t);
+      const size_t end = t == kThreads - 1 ? s.size() : begin + slice;
+      constexpr size_t kBatch = 128;
+      for (size_t i = begin; i < end; i += kBatch) {
+        handle->OfferBatch(s.data() + i, std::min(kBatch, end - i));
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  std::string why;
+  ASSERT_TRUE(engine.CheckInvariantsQuiescent(&why)) << why;
+  EXPECT_EQ(engine.stream_length(), s.size());
+}
+
+TEST(CotsSpaceSavingTest, CapacityOneDegenerate) {
+  CotsSpaceSaving engine(MakeOptions(1));
+  auto handle = engine.RegisterThread();
+  for (ElementId e : Stream{1, 2, 3, 4, 5}) handle->Offer(e);
+  EXPECT_EQ(engine.num_counters(), 1u);
+  EXPECT_EQ(handle->Lookup(5)->count, 5u);
+  EXPECT_EQ(handle->Lookup(5)->error, 4u);
+  EXPECT_TRUE(engine.CheckInvariantsQuiescent());
+}
+
+}  // namespace
+}  // namespace cots

@@ -1,0 +1,252 @@
+// Cross-engine integration and adversarial tests: every engine processes
+// the same streams and their answers are compared against each other and
+// against exact ground truth; failure-injection style streams (all-same,
+// round-robin churn, mid-stream skew flip, tiny capacities) hit the
+// pathological paths of each design.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "baselines/independent_space_saving.h"
+#include "baselines/shared_space_saving.h"
+#include "core/query.h"
+#include "core/space_saving.h"
+#include "cots/cots_space_saving.h"
+#include "stream/exact_counter.h"
+#include "stream/zipf_generator.h"
+
+namespace cots {
+namespace {
+
+// Runs a stream through CoTS with `threads` workers.
+std::unique_ptr<CotsSpaceSaving> RunCots(const Stream& s, size_t capacity,
+                                         int threads) {
+  CotsSpaceSavingOptions opt;
+  opt.capacity = capacity;
+  EXPECT_TRUE(opt.Validate().ok());
+  auto engine = std::make_unique<CotsSpaceSaving>(opt);
+  std::vector<std::thread> workers;
+  const size_t slice = s.size() / static_cast<size_t>(threads);
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      auto handle = engine->RegisterThread();
+      const size_t begin = slice * static_cast<size_t>(t);
+      const size_t end = t == threads - 1 ? s.size() : begin + slice;
+      for (size_t i = begin; i < end; ++i) handle->Offer(s[i]);
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  return engine;
+}
+
+// When the alphabet fits in capacity, every engine must produce EXACT
+// counts — no eviction ever happens, so parallel interleaving is invisible.
+TEST(EngineAgreementTest, AllEnginesExactWhenAlphabetFits) {
+  ZipfOptions zopt;
+  zopt.alphabet_size = 200;
+  zopt.alpha = 1.5;
+  const uint64_t n = 30000;
+  Stream s = MakeZipfStream(n, zopt);
+  ExactCounter exact(s);
+  const size_t capacity = 512;  // > alphabet
+
+  SpaceSavingOptions sso;
+  sso.capacity = capacity;
+  ASSERT_TRUE(sso.Validate().ok());
+  SpaceSaving sequential(sso);
+  sequential.Process(s);
+
+  SharedSpaceSavingOptions shopt;
+  shopt.capacity = capacity;
+  ASSERT_TRUE(shopt.Validate().ok());
+  SharedSpaceSavingMutex shared(shopt);
+  {
+    std::vector<std::thread> workers;
+    const size_t slice = s.size() / 4;
+    for (int t = 0; t < 4; ++t) {
+      workers.emplace_back([&, t] {
+        const size_t begin = slice * static_cast<size_t>(t);
+        const size_t end = t == 3 ? s.size() : begin + slice;
+        for (size_t i = begin; i < end; ++i) shared.Offer(s[i], t);
+      });
+    }
+    for (std::thread& w : workers) w.join();
+  }
+
+  std::unique_ptr<CotsSpaceSaving> cots_engine = RunCots(s, capacity, 4);
+
+  for (const auto& [key, truth] : exact.counts()) {
+    ASSERT_TRUE(sequential.Lookup(key).has_value());
+    EXPECT_EQ(sequential.Lookup(key)->count, truth) << key;
+    ASSERT_TRUE(shared.Lookup(key).has_value());
+    EXPECT_EQ(shared.Lookup(key)->count, truth) << key;
+    ASSERT_TRUE(cots_engine->Lookup(key).has_value());
+    EXPECT_EQ(cots_engine->Lookup(key)->count, truth) << key;
+    EXPECT_EQ(cots_engine->Lookup(key)->error, 0u) << key;
+  }
+}
+
+// The query layer returns the same answers over any engine fed identically.
+TEST(EngineAgreementTest, QueriesAgreeAcrossEngines) {
+  ZipfOptions zopt;
+  zopt.alphabet_size = 150;
+  zopt.alpha = 2.0;
+  Stream s = MakeZipfStream(20000, zopt);
+
+  SpaceSavingOptions sso;
+  sso.capacity = 256;
+  ASSERT_TRUE(sso.Validate().ok());
+  SpaceSaving sequential(sso);
+  sequential.Process(s);
+  std::unique_ptr<CotsSpaceSaving> cots_engine = RunCots(s, 256, 4);
+
+  QueryEngine seq_queries(&sequential);
+  QueryEngine cots_queries(cots_engine.get());
+
+  std::vector<Counter> seq_top = seq_queries.TopK(10);
+  std::vector<Counter> cots_top = cots_queries.TopK(10);
+  ASSERT_EQ(seq_top.size(), cots_top.size());
+  for (size_t i = 0; i < seq_top.size(); ++i) {
+    EXPECT_EQ(seq_top[i].key, cots_top[i].key) << i;
+    EXPECT_EQ(seq_top[i].count, cots_top[i].count) << i;
+  }
+  EXPECT_EQ(seq_queries.KthFrequency(10), cots_queries.KthFrequency(10));
+  FrequentSetResult a = seq_queries.FrequentElements(0.01);
+  FrequentSetResult b = cots_queries.FrequentElements(0.01);
+  EXPECT_EQ(a.guaranteed.size(), b.guaranteed.size());
+  EXPECT_EQ(a.potential.size(), b.potential.size());
+}
+
+// Adversarial battery, parameterized over capacity, applied to CoTS with
+// full concurrency: the invariants hold on every stream pathology.
+class CotsAdversarialTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(CotsAdversarialTest, ConstantStream) {
+  Stream s = MakeConstantStream(20000, 99);
+  auto engine = RunCots(s, GetParam(), 4);
+  std::string why;
+  ASSERT_TRUE(engine->CheckInvariantsQuiescent(&why)) << why;
+  EXPECT_EQ(engine->Lookup(99)->count, 20000u);
+}
+
+TEST_P(CotsAdversarialTest, RoundRobinChurn) {
+  Stream s = MakeRoundRobinStream(20000, 997);
+  auto engine = RunCots(s, GetParam(), 4);
+  std::string why;
+  ASSERT_TRUE(engine->CheckInvariantsQuiescent(&why)) << why;
+  EXPECT_EQ(engine->stream_length(), 20000u);
+}
+
+TEST_P(CotsAdversarialTest, SkewFlip) {
+  ZipfOptions zopt;
+  zopt.alphabet_size = 3000;
+  zopt.alpha = 2.5;
+  Stream s = MakeSkewFlipStream(20000, zopt);
+  auto engine = RunCots(s, GetParam(), 4);
+  std::string why;
+  ASSERT_TRUE(engine->CheckInvariantsQuiescent(&why)) << why;
+  ExactCounter exact(s);
+  for (const Counter& c : engine->CountersDescending()) {
+    EXPECT_GE(c.count, exact.Count(c.key));
+    EXPECT_LE(c.count, exact.Count(c.key) + c.error);
+  }
+}
+
+TEST_P(CotsAdversarialTest, AlternatingHotAndChurn) {
+  // Interleave a hot element with a churn of unique keys: constant
+  // overwrite pressure while one element keeps climbing.
+  Stream s;
+  s.reserve(30000);
+  for (uint64_t i = 0; i < 15000; ++i) {
+    s.push_back(7);
+    s.push_back(1000 + i);
+  }
+  auto engine = RunCots(s, GetParam(), 4);
+  std::string why;
+  ASSERT_TRUE(engine->CheckInvariantsQuiescent(&why)) << why;
+  if (GetParam() >= 2) {
+    // With >= 2 counters the hot element can never be the overwrite victim
+    // (the churn keys always occupy the minimum bucket). A single counter,
+    // by Space Saving semantics, necessarily ends on the last arrival.
+    ASSERT_TRUE(engine->Lookup(7).has_value());
+    EXPECT_GE(engine->Lookup(7)->count, 15000u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, CotsAdversarialTest,
+                         ::testing::Values(size_t{1}, size_t{2}, size_t{3},
+                                           size_t{16}, size_t{128}));
+
+// Mixed weighted/unweighted offers from concurrent threads conserve counts.
+TEST(CotsWeightedConcurrencyTest, MixedWeightsConserve) {
+  CotsSpaceSavingOptions opt;
+  opt.capacity = 64;
+  ASSERT_TRUE(opt.Validate().ok());
+  CotsSpaceSaving engine(opt);
+  const int kThreads = 4;
+  const uint64_t kOps = 10000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      auto handle = engine.RegisterThread();
+      Xoshiro256 rng(500 + static_cast<uint64_t>(t));
+      for (uint64_t i = 0; i < kOps; ++i) {
+        const ElementId e = 1 + rng.NextBounded(16);
+        const uint64_t weight = 1 + rng.NextBounded(8);
+        handle->Offer(e, weight);
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  std::string why;
+  ASSERT_TRUE(engine.CheckInvariantsQuiescent(&why)) << why;
+  // All 16 keys fit in capacity: counts are exact; total == stream_length.
+  uint64_t total = 0;
+  for (const Counter& c : engine.CountersDescending()) total += c.count;
+  EXPECT_EQ(total, engine.stream_length());
+}
+
+// Interval-driven queries running against a live engine (Query 3) with
+// writers active: snapshots must stay internally consistent.
+TEST(LiveQueryTest, IntervalQueriesDuringIngest) {
+  CotsSpaceSavingOptions opt;
+  opt.capacity = 256;
+  ASSERT_TRUE(opt.Validate().ok());
+  CotsSpaceSaving engine(opt);
+
+  std::atomic<bool> done{false};
+  std::thread analyst([&] {
+    QueryEngine queries(&engine);
+    while (!done.load()) {
+      std::vector<Counter> top = queries.TopK(10);
+      uint64_t prev = ~uint64_t{0};
+      for (const Counter& c : top) {
+        EXPECT_LE(c.count, prev);  // snapshot ordering holds
+        prev = c.count;
+      }
+    }
+  });
+
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 2; ++t) {
+    writers.emplace_back([&, t] {
+      auto handle = engine.RegisterThread();
+      ZipfOptions zopt;
+      zopt.alphabet_size = 5000;
+      zopt.alpha = 2.0;
+      zopt.seed = 40 + static_cast<uint64_t>(t);
+      for (ElementId e : MakeZipfStream(40000, zopt)) handle->Offer(e);
+    });
+  }
+  for (std::thread& w : writers) w.join();
+  done.store(true);
+  analyst.join();
+  std::string why;
+  EXPECT_TRUE(engine.CheckInvariantsQuiescent(&why)) << why;
+}
+
+}  // namespace
+}  // namespace cots

@@ -1,0 +1,79 @@
+#include "stream/exact_counter.h"
+
+#include <gtest/gtest.h>
+
+#include "stream/zipf_generator.h"
+
+namespace cots {
+namespace {
+
+TEST(ExactCounterTest, CountsSimpleStream) {
+  ExactCounter counter;
+  counter.Process({1, 2, 2, 3, 3, 3});
+  EXPECT_EQ(counter.Count(1), 1u);
+  EXPECT_EQ(counter.Count(2), 2u);
+  EXPECT_EQ(counter.Count(3), 3u);
+  EXPECT_EQ(counter.Count(99), 0u);
+  EXPECT_EQ(counter.stream_length(), 6u);
+  EXPECT_EQ(counter.distinct(), 3u);
+}
+
+TEST(ExactCounterTest, WeightedOffer) {
+  ExactCounter counter;
+  counter.Offer(5, 10);
+  counter.Offer(5, 3);
+  EXPECT_EQ(counter.Count(5), 13u);
+  EXPECT_EQ(counter.stream_length(), 13u);
+}
+
+TEST(ExactCounterTest, FrequentElementsAboveThreshold) {
+  ExactCounter counter({1, 1, 1, 1, 2, 2, 3});
+  std::vector<ElementId> frequent = counter.FrequentElements(1);
+  ASSERT_EQ(frequent.size(), 2u);
+  EXPECT_EQ(frequent[0], 1u);  // descending frequency
+  EXPECT_EQ(frequent[1], 2u);
+}
+
+TEST(ExactCounterTest, FrequentThresholdIsStrict) {
+  ExactCounter counter({1, 1, 2});
+  EXPECT_EQ(counter.FrequentElements(2).size(), 0u);
+  EXPECT_EQ(counter.FrequentElements(1).size(), 1u);
+}
+
+TEST(ExactCounterTest, TopKOrdersByFrequencyThenKey) {
+  ExactCounter counter({5, 5, 5, 9, 9, 1, 1, 7});
+  std::vector<ElementId> top = counter.TopK(3);
+  ASSERT_EQ(top.size(), 3u);
+  EXPECT_EQ(top[0], 5u);
+  // 9 and 1 tie at 2; smaller key first.
+  EXPECT_EQ(top[1], 1u);
+  EXPECT_EQ(top[2], 9u);
+}
+
+TEST(ExactCounterTest, TopKLargerThanDistinctReturnsAll) {
+  ExactCounter counter({1, 2, 3});
+  EXPECT_EQ(counter.TopK(10).size(), 3u);
+}
+
+TEST(ExactCounterTest, KthFrequency) {
+  ExactCounter counter({1, 1, 1, 2, 2, 3});
+  EXPECT_EQ(counter.KthFrequency(1), 3u);
+  EXPECT_EQ(counter.KthFrequency(2), 2u);
+  EXPECT_EQ(counter.KthFrequency(3), 1u);
+  EXPECT_EQ(counter.KthFrequency(4), 0u);
+  EXPECT_EQ(counter.KthFrequency(0), 0u);
+}
+
+TEST(ExactCounterTest, ZipfStreamTotalsConserved) {
+  ZipfOptions opt;
+  opt.alphabet_size = 1000;
+  opt.alpha = 2.0;
+  Stream s = MakeZipfStream(50000, opt);
+  ExactCounter counter(s);
+  uint64_t sum = 0;
+  for (const auto& [key, count] : counter.counts()) sum += count;
+  EXPECT_EQ(sum, 50000u);
+}
+
+}  // namespace
+}  // namespace cots

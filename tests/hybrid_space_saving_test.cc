@@ -1,0 +1,139 @@
+#include "baselines/hybrid_space_saving.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "stream/exact_counter.h"
+#include "stream/zipf_generator.h"
+
+namespace cots {
+namespace {
+
+TEST(HybridOptionsTest, Validate) {
+  HybridSpaceSavingOptions opt;
+  EXPECT_TRUE(opt.Validate().ok());
+  opt.global_capacity = 0;
+  EXPECT_TRUE(opt.Validate().IsInvalidArgument());
+  opt = HybridSpaceSavingOptions{};
+  opt.local_capacity = 0;
+  EXPECT_TRUE(opt.Validate().IsInvalidArgument());
+  opt = HybridSpaceSavingOptions{};
+  opt.flush_interval = 0;
+  EXPECT_TRUE(opt.Validate().IsInvalidArgument());
+  opt = HybridSpaceSavingOptions{};
+  opt.num_threads = 0;
+  EXPECT_TRUE(opt.Validate().IsInvalidArgument());
+}
+
+TEST(HybridSpaceSavingTest, CacheAbsorbsHotElement) {
+  HybridSpaceSavingOptions opt;
+  opt.num_threads = 1;
+  opt.local_capacity = 4;
+  opt.flush_interval = 1000000;  // never force-flush in this test
+  ASSERT_TRUE(opt.Validate().ok());
+  HybridSpaceSaving hybrid(opt);
+  for (int i = 0; i < 100; ++i) hybrid.Offer(7, 0);
+  EXPECT_EQ(hybrid.cache_hits(), 99u);      // all but the first
+  EXPECT_EQ(hybrid.stream_length(), 0u);    // nothing flushed yet
+  hybrid.Flush(0);
+  EXPECT_EQ(hybrid.stream_length(), 100u);
+  CounterSet snap = hybrid.Snapshot();
+  EXPECT_EQ(snap.Lookup(7)->count, 100u);
+}
+
+TEST(HybridSpaceSavingTest, SnapshotSeesUnflushedDeltas) {
+  HybridSpaceSavingOptions opt;
+  opt.num_threads = 1;
+  opt.flush_interval = 1000000;
+  ASSERT_TRUE(opt.Validate().ok());
+  HybridSpaceSaving hybrid(opt);
+  for (int i = 0; i < 10; ++i) hybrid.Offer(3, 0);
+  CounterSet snap = hybrid.Snapshot();
+  ASSERT_TRUE(snap.Lookup(3).has_value());
+  EXPECT_EQ(snap.Lookup(3)->count, 10u);
+  EXPECT_EQ(snap.stream_length(), 10u);
+}
+
+TEST(HybridSpaceSavingTest, OverflowFlushes) {
+  HybridSpaceSavingOptions opt;
+  opt.num_threads = 1;
+  opt.local_capacity = 2;
+  opt.flush_interval = 1000000;
+  ASSERT_TRUE(opt.Validate().ok());
+  HybridSpaceSaving hybrid(opt);
+  hybrid.Offer(1, 0);
+  hybrid.Offer(2, 0);
+  hybrid.Offer(3, 0);  // overflow: 1 and 2 flushed to global
+  EXPECT_EQ(hybrid.stream_length(), 2u);
+}
+
+TEST(HybridSpaceSavingTest, PeriodicFlush) {
+  HybridSpaceSavingOptions opt;
+  opt.num_threads = 1;
+  opt.flush_interval = 8;
+  ASSERT_TRUE(opt.Validate().ok());
+  HybridSpaceSaving hybrid(opt);
+  for (int i = 0; i < 8; ++i) hybrid.Offer(5, 0);
+  EXPECT_EQ(hybrid.stream_length(), 8u);  // flushed at the interval
+}
+
+TEST(HybridSpaceSavingTest, ConcurrentBoundsVsExact) {
+  HybridSpaceSavingOptions opt;
+  opt.num_threads = 4;
+  opt.global_capacity = 128;
+  opt.local_capacity = 16;
+  opt.flush_interval = 256;
+  ASSERT_TRUE(opt.Validate().ok());
+  HybridSpaceSaving hybrid(opt);
+
+  ZipfOptions zopt;
+  zopt.alphabet_size = 3000;
+  zopt.alpha = 2.0;
+  const uint64_t n = 40000;
+  Stream s = MakeZipfStream(n, zopt);
+
+  std::vector<std::thread> workers;
+  const uint64_t slice = n / 4;
+  for (int t = 0; t < 4; ++t) {
+    workers.emplace_back([&, t] {
+      const uint64_t begin = slice * static_cast<uint64_t>(t);
+      const uint64_t end = t == 3 ? n : begin + slice;
+      for (uint64_t i = begin; i < end; ++i) hybrid.Offer(s[i], t);
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  hybrid.FlushAll();
+
+  EXPECT_EQ(hybrid.stream_length(), n);
+  ExactCounter exact(s);
+  CounterSet snap = hybrid.Snapshot();
+  for (const Counter& c : snap.counters()) {
+    EXPECT_GE(c.count, exact.Count(c.key)) << "key " << c.key;
+  }
+}
+
+TEST(HybridSpaceSavingTest, SkewControlsCacheHitRate) {
+  auto hit_rate = [](double alpha) {
+    HybridSpaceSavingOptions opt;
+    opt.num_threads = 1;
+    opt.local_capacity = 16;
+    opt.flush_interval = 1024;
+    HybridSpaceSavingOptions checked = opt;
+    EXPECT_TRUE(checked.Validate().ok());
+    HybridSpaceSaving hybrid(opt);
+    ZipfOptions zopt;
+    zopt.alphabet_size = 100000;
+    zopt.alpha = alpha;
+    const uint64_t n = 20000;
+    for (ElementId e : MakeZipfStream(n, zopt)) hybrid.Offer(e, 0);
+    return static_cast<double>(hybrid.cache_hits()) / static_cast<double>(n);
+  };
+  // Section 4.4's degeneration claim: skew drives the local hit rate.
+  EXPECT_GT(hit_rate(3.0), 0.9);
+  EXPECT_LT(hit_rate(1.05), hit_rate(3.0));
+}
+
+}  // namespace
+}  // namespace cots

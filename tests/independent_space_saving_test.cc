@@ -1,0 +1,152 @@
+#include "baselines/independent_space_saving.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "stream/exact_counter.h"
+#include "stream/zipf_generator.h"
+
+namespace cots {
+namespace {
+
+IndependentSpaceSavingOptions MakeOptions(size_t capacity, int threads,
+                                          uint64_t interval) {
+  IndependentSpaceSavingOptions opt;
+  opt.capacity = capacity;
+  opt.num_threads = threads;
+  opt.query_interval = interval;
+  EXPECT_TRUE(opt.Validate().ok());
+  return opt;
+}
+
+TEST(IndependentOptionsTest, Validate) {
+  IndependentSpaceSavingOptions opt;
+  EXPECT_TRUE(opt.Validate().IsInvalidArgument());  // no capacity/epsilon
+  opt.epsilon = 0.01;
+  ASSERT_TRUE(opt.Validate().ok());
+  EXPECT_EQ(opt.capacity, 100u);
+  opt.num_threads = 0;
+  EXPECT_TRUE(opt.Validate().IsInvalidArgument());
+  opt.num_threads = 2;
+  opt.query_interval = 0;
+  EXPECT_TRUE(opt.Validate().IsInvalidArgument());
+}
+
+TEST(IndependentSpaceSavingTest, SingleThreadMatchesSequentialBounds) {
+  ZipfOptions zopt;
+  zopt.alphabet_size = 500;
+  zopt.alpha = 2.0;
+  Stream s = MakeZipfStream(10000, zopt);
+  IndependentSpaceSaving engine(MakeOptions(64, 1, 2000));
+  IndependentRunResult result = engine.Run(s);
+  EXPECT_EQ(result.elements_processed, 10000u);
+  EXPECT_EQ(result.merges_performed, 5u);
+  EXPECT_EQ(result.merged.stream_length(), 10000u);
+  ExactCounter exact(s);
+  for (const Counter& c : result.merged.counters()) {
+    EXPECT_GE(c.count, exact.Count(c.key));
+  }
+}
+
+class IndependentSweepTest
+    : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(IndependentSweepTest, MergedBoundsHoldAcrossThreads) {
+  const int threads = std::get<0>(GetParam());
+  const double alpha = std::get<1>(GetParam());
+  ZipfOptions zopt;
+  zopt.alphabet_size = 2000;
+  zopt.alpha = alpha;
+  zopt.seed = 31;
+  const uint64_t n = 30000;
+  Stream s = MakeZipfStream(n, zopt);
+
+  IndependentSpaceSaving engine(MakeOptions(64, threads, 5000));
+  IndependentRunResult result = engine.Run(s);
+  EXPECT_EQ(result.merged.stream_length(), n);
+
+  ExactCounter exact(s);
+  for (const Counter& c : result.merged.counters()) {
+    const uint64_t truth = exact.Count(c.key);
+    EXPECT_GE(c.count, truth) << "key " << c.key;
+    EXPECT_LE(c.GuaranteedCount(), truth) << "key " << c.key;
+  }
+  // Unmonitored keys bounded by the merged minimum.
+  for (const auto& [key, truth] : exact.counts()) {
+    if (!result.merged.Lookup(key).has_value()) {
+      EXPECT_LE(truth, result.merged.min_freq());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ThreadsByAlpha, IndependentSweepTest,
+    ::testing::Combine(::testing::Values(1, 2, 4, 8),
+                       ::testing::Values(1.5, 2.0, 3.0)));
+
+TEST(IndependentSpaceSavingTest, HierarchicalMergeAlsoSound) {
+  ZipfOptions zopt;
+  zopt.alphabet_size = 1000;
+  zopt.alpha = 2.5;
+  const uint64_t n = 20000;
+  Stream s = MakeZipfStream(n, zopt);
+  IndependentSpaceSavingOptions opt = MakeOptions(64, 4, 5000);
+  opt.merge_strategy = MergeStrategy::kHierarchical;
+  IndependentSpaceSaving engine(opt);
+  IndependentRunResult result = engine.Run(s);
+  EXPECT_EQ(result.merged.stream_length(), n);
+  ExactCounter exact(s);
+  for (const Counter& c : result.merged.counters()) {
+    EXPECT_GE(c.count, exact.Count(c.key));
+  }
+}
+
+TEST(IndependentSpaceSavingTest, MergeCountMatchesInterval) {
+  Stream s = MakeRoundRobinStream(10000, 50);
+  IndependentSpaceSaving engine(MakeOptions(64, 2, 1000));
+  IndependentRunResult result = engine.Run(s);
+  EXPECT_EQ(result.merges_performed, 10u);
+}
+
+TEST(IndependentSpaceSavingTest, PartialFinalRoundStillMerged) {
+  Stream s = MakeRoundRobinStream(10500, 50);  // 10 full rounds + 500
+  IndependentSpaceSaving engine(MakeOptions(64, 2, 1000));
+  IndependentRunResult result = engine.Run(s);
+  EXPECT_EQ(result.merges_performed, 11u);
+  EXPECT_EQ(result.merged.stream_length(), 10500u);
+}
+
+TEST(IndependentSpaceSavingTest, ProfilerSplitsCountingAndMerge) {
+  PhaseProfiler profiler(IndependentPhases::Names(), 4, /*enabled=*/true);
+  ZipfOptions zopt;
+  zopt.alphabet_size = 500;
+  zopt.alpha = 2.0;
+  Stream s = MakeZipfStream(20000, zopt);
+  IndependentSpaceSaving engine(MakeOptions(64, 4, 2000));
+  engine.Run(s, &profiler);
+  std::vector<uint64_t> totals = profiler.TotalNanos();
+  EXPECT_GT(totals[IndependentPhases::kCounting], 0u);
+  EXPECT_GT(totals[IndependentPhases::kMerge], 0u);
+}
+
+TEST(IndependentSpaceSavingTest, HotElementFullyCounted) {
+  // The heavy hitter appears in every partition; the merge must resum it.
+  ZipfOptions zopt;
+  zopt.alphabet_size = 100;
+  zopt.alpha = 3.0;
+  zopt.permute_keys = false;
+  const uint64_t n = 20000;
+  Stream s = MakeZipfStream(n, zopt);
+  ExactCounter exact(s);
+  IndependentSpaceSaving engine(MakeOptions(32, 4, 5000));
+  IndependentRunResult result = engine.Run(s);
+  // Rank 1 dominates; its merged estimate must cover its true count and be
+  // close (parts all monitor it exactly, only absent-side minima inflate).
+  const uint64_t truth = exact.Count(1);
+  ASSERT_TRUE(result.merged.Lookup(1).has_value());
+  EXPECT_GE(result.merged.Lookup(1)->count, truth);
+}
+
+}  // namespace
+}  // namespace cots

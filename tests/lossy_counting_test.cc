@@ -1,0 +1,121 @@
+#include "core/lossy_counting.h"
+
+#include <gtest/gtest.h>
+
+#include "stream/exact_counter.h"
+#include "stream/zipf_generator.h"
+
+namespace cots {
+namespace {
+
+TEST(LossyCountingOptionsTest, Validate) {
+  LossyCountingOptions opt;
+  opt.epsilon = 0.1;
+  EXPECT_TRUE(opt.Validate().ok());
+  opt.epsilon = 0.0;
+  EXPECT_TRUE(opt.Validate().IsInvalidArgument());
+  opt.epsilon = 1.0;
+  EXPECT_TRUE(opt.Validate().IsInvalidArgument());
+}
+
+TEST(LossyCountingTest, BucketWidthFromEpsilon) {
+  LossyCountingOptions opt;
+  opt.epsilon = 0.01;
+  LossyCounting lc(opt);
+  EXPECT_EQ(lc.bucket_width(), 100u);
+}
+
+TEST(LossyCountingTest, CountsWithoutEviction) {
+  LossyCountingOptions opt;
+  opt.epsilon = 0.001;  // width 1000: no round ends in this test
+  LossyCounting lc(opt);
+  lc.Process({1, 2, 2, 3, 3, 3});
+  EXPECT_EQ(lc.Lookup(3)->count, 3u);
+  EXPECT_EQ(lc.Lookup(1)->count, 1u);
+  EXPECT_FALSE(lc.Lookup(9).has_value());
+}
+
+TEST(LossyCountingTest, RoundBoundaryEvictsInfrequent) {
+  LossyCountingOptions opt;
+  opt.epsilon = 0.25;  // width 4
+  LossyCounting lc(opt);
+  // Round 1: 1 appears 3 times, 2 once. At the boundary, count+delta <= 1
+  // evicts element 2 (1+0 <= 1) but keeps element 1.
+  lc.Process({1, 1, 1, 2});
+  EXPECT_TRUE(lc.Lookup(1).has_value());
+  EXPECT_FALSE(lc.Lookup(2).has_value());
+  EXPECT_EQ(lc.current_round(), 2u);
+}
+
+TEST(LossyCountingTest, ReAdmittedElementCarriesDelta) {
+  LossyCountingOptions opt;
+  opt.epsilon = 0.25;  // width 4
+  LossyCounting lc(opt);
+  lc.Process({1, 1, 1, 2});  // 2 evicted at boundary
+  lc.Process({2, 2, 1});     // 2 re-enters in round 2 with delta 1
+  ASSERT_TRUE(lc.Lookup(2).has_value());
+  // True count 3; estimate = count + delta = 2 + 1 = 3; error = delta = 1.
+  EXPECT_EQ(lc.Lookup(2)->count, 3u);
+  EXPECT_EQ(lc.Lookup(2)->error, 1u);
+}
+
+TEST(LossyCountingTest, EpsilonGuaranteeOnZipf) {
+  LossyCountingOptions opt;
+  opt.epsilon = 0.01;
+  LossyCounting lc(opt);
+  ZipfOptions zopt;
+  zopt.alphabet_size = 2000;
+  zopt.alpha = 1.5;
+  const uint64_t n = 50000;
+  Stream s = MakeZipfStream(n, zopt);
+  lc.Process(s);
+  ExactCounter exact(s);
+
+  const auto epsilon_n =
+      static_cast<uint64_t>(0.01 * static_cast<double>(n)) + 1;
+  for (const Counter& c : lc.CountersDescending()) {
+    const uint64_t truth = exact.Count(c.key);
+    // Estimates over-count by at most delta <= epsilon * N.
+    EXPECT_LE(truth, c.count);
+    EXPECT_LE(c.count, truth + epsilon_n);
+  }
+  // Every element with true frequency > epsilon * N survives.
+  for (const auto& [key, truth] : exact.counts()) {
+    if (truth > epsilon_n) {
+      EXPECT_TRUE(lc.Lookup(key).has_value()) << "key " << key;
+    }
+  }
+}
+
+TEST(LossyCountingTest, SpaceStaysLogarithmic) {
+  LossyCountingOptions opt;
+  opt.epsilon = 0.01;
+  LossyCounting lc(opt);
+  Stream s = MakeRoundRobinStream(100000, 5000);  // adversarial churn
+  lc.Process(s);
+  // Manku-Motwani bound: (1/eps) * log(eps*N) = 100 * ln(1000) ~ 690.
+  EXPECT_LE(lc.num_counters(), 1000u);
+}
+
+TEST(LossyCountingTest, StreamLengthTracked) {
+  LossyCountingOptions opt;
+  opt.epsilon = 0.1;
+  LossyCounting lc(opt);
+  lc.Offer(1, 25);
+  EXPECT_EQ(lc.stream_length(), 25u);
+}
+
+TEST(LossyCountingTest, CountersDescendingSorted) {
+  LossyCountingOptions opt;
+  opt.epsilon = 0.001;
+  LossyCounting lc(opt);
+  lc.Process({5, 5, 5, 2, 2, 9});
+  std::vector<Counter> counters = lc.CountersDescending();
+  ASSERT_EQ(counters.size(), 3u);
+  EXPECT_EQ(counters[0].key, 5u);
+  EXPECT_EQ(counters[1].key, 2u);
+  EXPECT_EQ(counters[2].key, 9u);
+}
+
+}  // namespace
+}  // namespace cots

@@ -1,0 +1,104 @@
+#include "core/misra_gries.h"
+
+#include <gtest/gtest.h>
+
+#include "stream/exact_counter.h"
+#include "stream/zipf_generator.h"
+
+namespace cots {
+namespace {
+
+TEST(MisraGriesOptionsTest, Validate) {
+  MisraGriesOptions opt;
+  EXPECT_TRUE(opt.Validate().ok());
+  opt.capacity = 0;
+  EXPECT_TRUE(opt.Validate().IsInvalidArgument());
+}
+
+TEST(MisraGriesTest, ExactWhenAlphabetFits) {
+  MisraGriesOptions opt;
+  opt.capacity = 10;
+  MisraGries mg(opt);
+  mg.Process({1, 2, 2, 3, 3, 3});
+  EXPECT_EQ(mg.Lookup(3)->count, 3u);
+  EXPECT_EQ(mg.Lookup(1)->count, 1u);
+  EXPECT_EQ(mg.total_decrements(), 0u);
+}
+
+TEST(MisraGriesTest, DecrementAllOnOverflow) {
+  MisraGriesOptions opt;
+  opt.capacity = 2;
+  MisraGries mg(opt);
+  mg.Process({1, 1, 2});  // {1:2, 2:1}
+  mg.Offer(3);            // decrement-all: {1:1}, 3 absorbed
+  EXPECT_EQ(mg.Lookup(1)->count, 1u);
+  EXPECT_FALSE(mg.Lookup(2).has_value());
+  EXPECT_FALSE(mg.Lookup(3).has_value());
+  EXPECT_EQ(mg.total_decrements(), 1u);
+}
+
+TEST(MisraGriesTest, NeverOverestimates) {
+  MisraGriesOptions opt;
+  opt.capacity = 16;
+  MisraGries mg(opt);
+  ZipfOptions zopt;
+  zopt.alphabet_size = 500;
+  zopt.alpha = 1.5;
+  Stream s = MakeZipfStream(20000, zopt);
+  mg.Process(s);
+  ExactCounter exact(s);
+  for (const Counter& c : mg.CountersDescending()) {
+    EXPECT_LE(c.count, exact.Count(c.key)) << "key " << c.key;
+  }
+}
+
+TEST(MisraGriesTest, UndershootBoundedByNOverKPlus1) {
+  MisraGriesOptions opt;
+  opt.capacity = 20;
+  MisraGries mg(opt);
+  ZipfOptions zopt;
+  zopt.alphabet_size = 1000;
+  zopt.alpha = 2.0;
+  const uint64_t n = 30000;
+  Stream s = MakeZipfStream(n, zopt);
+  mg.Process(s);
+  ExactCounter exact(s);
+  const uint64_t bound = n / (opt.capacity + 1);
+  EXPECT_LE(mg.total_decrements(), bound);
+  for (const Counter& c : mg.CountersDescending()) {
+    EXPECT_LE(exact.Count(c.key), c.count + mg.total_decrements());
+  }
+  // Heavy hitters above N/(k+1) must be present.
+  for (const auto& [key, truth] : exact.counts()) {
+    if (truth > bound) {
+      EXPECT_TRUE(mg.Lookup(key).has_value());
+    }
+  }
+}
+
+TEST(MisraGriesTest, WeightedArrivalSplitsCorrectly) {
+  MisraGriesOptions opt;
+  opt.capacity = 2;
+  MisraGries mg(opt);
+  mg.Offer(1, 5);
+  mg.Offer(2, 5);
+  mg.Offer(3, 2);  // decrement by 2: {1:3, 2:3}, 3 fully absorbed
+  EXPECT_EQ(mg.Lookup(1)->count, 3u);
+  EXPECT_EQ(mg.Lookup(2)->count, 3u);
+  EXPECT_FALSE(mg.Lookup(3).has_value());
+  mg.Offer(4, 10);  // decrement by 3 (min is 3): {4:7}
+  EXPECT_FALSE(mg.Lookup(1).has_value());
+  EXPECT_EQ(mg.Lookup(4)->count, 7u);
+}
+
+TEST(MisraGriesTest, CapacityRespected) {
+  MisraGriesOptions opt;
+  opt.capacity = 8;
+  MisraGries mg(opt);
+  Stream s = MakeRoundRobinStream(10000, 100);
+  mg.Process(s);
+  EXPECT_LE(mg.num_counters(), 8u);
+}
+
+}  // namespace
+}  // namespace cots

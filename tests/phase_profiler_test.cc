@@ -1,0 +1,80 @@
+#include "util/phase_profiler.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace cots {
+namespace {
+
+TEST(PhaseProfilerTest, RecordsPerPhase) {
+  PhaseProfiler profiler({"counting", "merge"}, 2, /*enabled=*/true);
+  profiler.Record(0, 0, 100);
+  profiler.Record(0, 1, 300);
+  profiler.Record(1, 0, 100);
+  std::vector<uint64_t> totals = profiler.TotalNanos();
+  EXPECT_EQ(totals[0], 200u);
+  EXPECT_EQ(totals[1], 300u);
+}
+
+TEST(PhaseProfilerTest, PercentagesSumTo100) {
+  PhaseProfiler profiler({"a", "b", "c"}, 1, true);
+  profiler.Record(0, 0, 10);
+  profiler.Record(0, 1, 30);
+  profiler.Record(0, 2, 60);
+  std::vector<double> pct = profiler.Percentages();
+  EXPECT_DOUBLE_EQ(pct[0], 10.0);
+  EXPECT_DOUBLE_EQ(pct[1], 30.0);
+  EXPECT_DOUBLE_EQ(pct[2], 60.0);
+}
+
+TEST(PhaseProfilerTest, DisabledRecordsNothing) {
+  PhaseProfiler profiler({"a"}, 1, /*enabled=*/false);
+  profiler.Record(0, 0, 1000);
+  EXPECT_EQ(profiler.TotalNanos()[0], 0u);
+  EXPECT_EQ(profiler.Percentages()[0], 0.0);
+}
+
+TEST(PhaseProfilerTest, EmptyPercentagesAreZero) {
+  PhaseProfiler profiler({"a", "b"}, 1, true);
+  std::vector<double> pct = profiler.Percentages();
+  EXPECT_EQ(pct[0], 0.0);
+  EXPECT_EQ(pct[1], 0.0);
+}
+
+TEST(PhaseProfilerTest, ResetClears) {
+  PhaseProfiler profiler({"a"}, 1, true);
+  profiler.Record(0, 0, 5);
+  profiler.Reset();
+  EXPECT_EQ(profiler.TotalNanos()[0], 0u);
+}
+
+TEST(PhaseProfilerTest, ScopedPhaseMeasuresElapsedTime) {
+  PhaseProfiler profiler({"sleep"}, 1, true);
+  {
+    ScopedPhase phase(&profiler, 0, 0);
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_GE(profiler.TotalNanos()[0], 4'000'000u);
+}
+
+TEST(PhaseProfilerTest, ScopedPhaseToleratesNullProfiler) {
+  ScopedPhase phase(nullptr, 0, 0);  // must not crash
+}
+
+TEST(PhaseProfilerTest, ThreadsRecordIndependently) {
+  const int kThreads = 4;
+  PhaseProfiler profiler({"work"}, kThreads, true);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&profiler, t] {
+      for (int i = 0; i < 1000; ++i) profiler.Record(t, 0, 7);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(profiler.TotalNanos()[0], 4u * 1000u * 7u);
+}
+
+}  // namespace
+}  // namespace cots

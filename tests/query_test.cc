@@ -1,0 +1,182 @@
+#include "core/query.h"
+
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "core/space_saving.h"
+#include "stream/exact_counter.h"
+#include "stream/zipf_generator.h"
+
+namespace cots {
+namespace {
+
+std::unique_ptr<SpaceSaving> MakeProcessed(size_t capacity,
+                                           const Stream& s) {
+  SpaceSavingOptions opt;
+  opt.capacity = capacity;
+  EXPECT_TRUE(opt.Validate().ok());
+  auto ss = std::make_unique<SpaceSaving>(opt);
+  ss->Process(s);
+  return ss;
+}
+
+TEST(QueryEngineTest, PointFrequentQuery) {
+  // N = 10; phi = 0.2 -> threshold 2 (strict).
+  std::unique_ptr<SpaceSaving> ss = MakeProcessed(10, {1, 1, 1, 2, 2, 3, 4, 5, 6, 7});
+  QueryEngine q(ss.get());
+  EXPECT_TRUE(q.IsElementFrequent(1, 0.2));    // 3 > 2
+  EXPECT_FALSE(q.IsElementFrequent(2, 0.2));   // 2 == 2, strict
+  EXPECT_FALSE(q.IsElementFrequent(3, 0.2));
+  EXPECT_FALSE(q.IsElementFrequent(99, 0.2));  // unmonitored
+}
+
+TEST(QueryEngineTest, PointTopKQuery) {
+  std::unique_ptr<SpaceSaving> ss = MakeProcessed(10, {1, 1, 1, 2, 2, 3});
+  QueryEngine q(ss.get());
+  EXPECT_TRUE(q.IsElementInTopK(1, 1));
+  EXPECT_FALSE(q.IsElementInTopK(2, 1));
+  EXPECT_TRUE(q.IsElementInTopK(2, 2));
+  EXPECT_TRUE(q.IsElementInTopK(3, 3));
+  EXPECT_FALSE(q.IsElementInTopK(42, 3));
+}
+
+TEST(QueryEngineTest, TopKSetQuery) {
+  std::unique_ptr<SpaceSaving> ss = MakeProcessed(10, {1, 1, 1, 2, 2, 3});
+  QueryEngine q(ss.get());
+  std::vector<Counter> top = q.TopK(2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].key, 1u);
+  EXPECT_EQ(top[1].key, 2u);
+}
+
+TEST(QueryEngineTest, TopKLargerThanMonitored) {
+  std::unique_ptr<SpaceSaving> ss = MakeProcessed(10, {1, 2});
+  QueryEngine q(ss.get());
+  EXPECT_EQ(q.TopK(5).size(), 2u);
+}
+
+TEST(QueryEngineTest, KthFrequency) {
+  std::unique_ptr<SpaceSaving> ss = MakeProcessed(10, {1, 1, 1, 2, 2, 3});
+  QueryEngine q(ss.get());
+  EXPECT_EQ(q.KthFrequency(1), 3u);
+  EXPECT_EQ(q.KthFrequency(2), 2u);
+  EXPECT_EQ(q.KthFrequency(3), 1u);
+  EXPECT_EQ(q.KthFrequency(4), 0u);
+}
+
+TEST(QueryEngineTest, FrequentSetSplitsGuaranteedAndPotential) {
+  // Force an overwrite so one counter carries error.
+  SpaceSavingOptions opt;
+  opt.capacity = 2;
+  ASSERT_TRUE(opt.Validate().ok());
+  SpaceSaving ss(opt);
+  ss.Process({1, 1, 1, 1, 2, 3});  // 3 overwrites 2: count 2, error 1
+  QueryEngine q(&ss);
+  // N = 6, phi = 0.2 -> threshold 1.
+  FrequentSetResult result = q.FrequentElements(0.2);
+  ASSERT_EQ(result.guaranteed.size(), 1u);
+  EXPECT_EQ(result.guaranteed[0].key, 1u);  // 4 - 0 > 1
+  ASSERT_EQ(result.potential.size(), 1u);
+  EXPECT_EQ(result.potential[0].key, 3u);  // 2 > 1 but 2 - 1 <= 1
+}
+
+TEST(QueryEngineTest, FrequentSetRecallOnZipf) {
+  ZipfOptions zopt;
+  zopt.alphabet_size = 2000;
+  zopt.alpha = 2.0;
+  const uint64_t n = 30000;
+  Stream s = MakeZipfStream(n, zopt);
+  std::unique_ptr<SpaceSaving> ss = MakeProcessed(100, s);
+  ExactCounter exact(s);
+  QueryEngine q(ss.get());
+
+  const double phi = 0.02;  // phi*N = 600 >> N/m = 300: recall must be 1
+  FrequentSetResult result = q.FrequentElements(phi);
+  std::vector<ElementId> truth = exact.FrequentElements(
+      static_cast<uint64_t>(phi * static_cast<double>(n)));
+  for (ElementId e : truth) {
+    const bool reported =
+        std::any_of(result.guaranteed.begin(), result.guaranteed.end(),
+                    [e](const Counter& c) { return c.key == e; }) ||
+        std::any_of(result.potential.begin(), result.potential.end(),
+                    [e](const Counter& c) { return c.key == e; });
+    EXPECT_TRUE(reported) << "missing true-frequent key " << e;
+  }
+}
+
+TEST(QueryEngineTest, TopKGuaranteeHoldsWithoutErrors) {
+  std::unique_ptr<SpaceSaving> ss = MakeProcessed(10, {1, 1, 1, 2, 2, 3});
+  QueryEngine q(ss.get());
+  QueryEngine::GuaranteedTopK top = q.TopKWithGuarantee(2);
+  ASSERT_EQ(top.elements.size(), 2u);
+  // No evictions happened: errors are zero and 2 (count 2) clears the
+  // runner-up (count 1).
+  EXPECT_TRUE(top.guaranteed);
+}
+
+TEST(QueryEngineTest, TopKGuaranteeFailsWhenErrorCoversGap) {
+  SpaceSavingOptions opt;
+  opt.capacity = 2;
+  ASSERT_TRUE(opt.Validate().ok());
+  SpaceSaving ss(opt);
+  // 3 overwrites 2 and carries error 1: its guaranteed count (1) is below
+  // the evicted candidate ceiling, so top-1 = {1} is guaranteed but
+  // top-2 = {1, 3} is not.
+  ss.Process({1, 1, 1, 1, 2, 3});
+  QueryEngine q(&ss);
+  EXPECT_TRUE(q.TopKWithGuarantee(1).guaranteed);
+  QueryEngine::GuaranteedTopK top2 = q.TopKWithGuarantee(2);
+  EXPECT_EQ(top2.elements.size(), 2u);
+  // next_best is 0 (everything monitored is reported), so the membership
+  // guarantee trivially holds even with error: nothing was left out.
+  EXPECT_TRUE(top2.guaranteed);
+}
+
+TEST(QueryEngineTest, TopKGuaranteeDetectsAmbiguity) {
+  SpaceSavingOptions opt;
+  opt.capacity = 3;
+  ASSERT_TRUE(opt.Validate().ok());
+  SpaceSaving ss(opt);
+  // Fill: 1 x4, 2 x3, then churn 3,4: 4 overwrites 3 (count 2, error 1).
+  ss.Process({1, 1, 1, 1, 2, 2, 2, 3, 4});
+  QueryEngine q(&ss);
+  // top-1 = {1}: guaranteed count 4 >= runner-up estimate 3.
+  EXPECT_TRUE(q.TopKWithGuarantee(1).guaranteed);
+  // top-2 = {1, 2}: 2's guaranteed count 3 vs left-out 4's estimate 2 - ok.
+  EXPECT_TRUE(q.TopKWithGuarantee(2).guaranteed);
+}
+
+TEST(QueryEngineTest, TopKGuaranteeFalseOnAmbiguousTie) {
+  SpaceSavingOptions opt;
+  opt.capacity = 3;
+  ASSERT_TRUE(opt.Validate().ok());
+  SpaceSaving ss(opt);
+  // 1 x5 fills one slot; 2 and 3 fill the rest; 4 and 5 each overwrite a
+  // count-1 victim, ending at estimate 2 with error 1. The two survivors
+  // tie at 2 and neither's guaranteed count (1) clears the other.
+  ss.Process({1, 1, 1, 1, 1, 2, 3, 4, 5});
+  QueryEngine q(&ss);
+  EXPECT_TRUE(q.TopKWithGuarantee(1).guaranteed);   // 1 is unambiguous
+  EXPECT_FALSE(q.TopKWithGuarantee(2).guaranteed);  // 4 vs 5 is not
+}
+
+TEST(IntervalQueryScheduleTest, FiresOnMultiples) {
+  IntervalQuerySchedule sched(100);
+  EXPECT_FALSE(sched.ShouldFire(1));
+  EXPECT_FALSE(sched.ShouldFire(99));
+  EXPECT_TRUE(sched.ShouldFire(100));
+  EXPECT_FALSE(sched.ShouldFire(101));
+  EXPECT_TRUE(sched.ShouldFire(200));
+}
+
+TEST(IntervalQueryScheduleTest, ZeroIntervalBecomesContinuous) {
+  // Query 4 (continuous) degenerates to interval with q == 1.
+  IntervalQuerySchedule sched(0);
+  EXPECT_EQ(sched.interval(), 1u);
+  EXPECT_TRUE(sched.ShouldFire(1));
+  EXPECT_TRUE(sched.ShouldFire(2));
+}
+
+}  // namespace
+}  // namespace cots

@@ -1,0 +1,84 @@
+#include "util/random.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace cots {
+namespace {
+
+TEST(SplitMix64Test, MatchesReferenceSequence) {
+  // Reference values for seed 1234567 from the public-domain reference
+  // implementation (Vigna).
+  SplitMix64 sm(1234567);
+  EXPECT_EQ(sm.Next(), 6457827717110365317ULL);
+  EXPECT_EQ(sm.Next(), 3203168211198807973ULL);
+  EXPECT_EQ(sm.Next(), 9817491932198370423ULL);
+}
+
+TEST(Xoshiro256Test, DeterministicForSeed) {
+  Xoshiro256 a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(Xoshiro256Test, SeedsDiverge) {
+  Xoshiro256 a(7), b(8);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.Next() == b.Next());
+  EXPECT_LE(same, 1);
+}
+
+TEST(Xoshiro256Test, BoundedStaysInRange) {
+  Xoshiro256 rng(99);
+  for (uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 1000; ++i) {
+      EXPECT_LT(rng.NextBounded(bound), bound);
+    }
+  }
+}
+
+TEST(Xoshiro256Test, BoundedOneAlwaysZero) {
+  Xoshiro256 rng(5);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.NextBounded(1), 0u);
+}
+
+TEST(Xoshiro256Test, DoubleInUnitInterval) {
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Xoshiro256Test, DoubleMeanNearHalf) {
+  Xoshiro256 rng(11);
+  double sum = 0;
+  const int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) sum += rng.NextDouble();
+  EXPECT_NEAR(sum / kDraws, 0.5, 0.01);
+}
+
+TEST(Xoshiro256Test, BoundedIsRoughlyUniform) {
+  Xoshiro256 rng(21);
+  const uint64_t kBuckets = 16;
+  const int kDraws = 160000;
+  std::vector<int> hist(kBuckets, 0);
+  for (int i = 0; i < kDraws; ++i) ++hist[rng.NextBounded(kBuckets)];
+  for (uint64_t b = 0; b < kBuckets; ++b) {
+    EXPECT_NEAR(hist[b], kDraws / kBuckets, kDraws / kBuckets * 0.1);
+  }
+}
+
+TEST(Xoshiro256Test, UniformRandomBitGeneratorInterface) {
+  static_assert(Xoshiro256::min() == 0);
+  static_assert(Xoshiro256::max() == ~0ULL);
+  Xoshiro256 rng(1);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 100; ++i) seen.insert(rng());
+  EXPECT_EQ(seen.size(), 100u);  // collisions astronomically unlikely
+}
+
+}  // namespace
+}  // namespace cots

@@ -1,0 +1,222 @@
+#include "baselines/shared_space_saving.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include "core/space_saving.h"
+#include "stream/exact_counter.h"
+#include "stream/zipf_generator.h"
+
+namespace cots {
+namespace {
+
+SharedSpaceSavingOptions MakeOptions(size_t capacity) {
+  SharedSpaceSavingOptions opt;
+  opt.capacity = capacity;
+  EXPECT_TRUE(opt.Validate().ok());
+  return opt;
+}
+
+TEST(SharedSpaceSavingOptionsTest, Validate) {
+  SharedSpaceSavingOptions opt;
+  EXPECT_TRUE(opt.Validate().IsInvalidArgument());
+  opt.epsilon = 0.1;
+  ASSERT_TRUE(opt.Validate().ok());
+  EXPECT_EQ(opt.capacity, 10u);
+  opt.shards = 0;
+  EXPECT_TRUE(opt.Validate().IsInvalidArgument());
+}
+
+TEST(SharedSpaceSavingTest, SingleThreadMatchesSequential) {
+  SharedSpaceSavingMutex shared(MakeOptions(8));
+  SpaceSavingOptions sso;
+  sso.capacity = 8;
+  ASSERT_TRUE(sso.Validate().ok());
+  SpaceSaving sequential(sso);
+
+  ZipfOptions zopt;
+  zopt.alphabet_size = 200;
+  zopt.alpha = 1.5;
+  Stream s = MakeZipfStream(20000, zopt);
+  for (ElementId e : s) {
+    shared.Offer(e);
+    sequential.Offer(e);
+  }
+  // Same deterministic processing order: identical counters.
+  std::vector<Counter> a = shared.CountersDescending();
+  std::vector<Counter> b = sequential.CountersDescending();
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].count, b[i].count) << i;
+  }
+  EXPECT_TRUE(shared.CheckInvariants());
+}
+
+TEST(SharedSpaceSavingTest, LookupAndMinFreq) {
+  SharedSpaceSavingMutex shared(MakeOptions(2));
+  shared.Offer(1);
+  shared.Offer(1);
+  shared.Offer(2);
+  EXPECT_EQ(shared.Lookup(1)->count, 2u);
+  EXPECT_EQ(shared.Lookup(2)->count, 1u);
+  EXPECT_FALSE(shared.Lookup(3).has_value());
+  EXPECT_EQ(shared.MinFreq(), 1u);  // structure full at capacity 2
+  shared.Offer(3);                  // overwrites 2
+  EXPECT_FALSE(shared.Lookup(2).has_value());
+  EXPECT_EQ(shared.Lookup(3)->count, 2u);
+  EXPECT_EQ(shared.Lookup(3)->error, 1u);
+}
+
+TEST(SharedSpaceSavingTest, WeightedOffer) {
+  SharedSpaceSavingMutex shared(MakeOptions(4));
+  shared.Offer(7, 0, nullptr, 10);
+  shared.Offer(7, 0, nullptr, 5);
+  EXPECT_EQ(shared.Lookup(7)->count, 15u);
+  EXPECT_EQ(shared.stream_length(), 15u);
+  EXPECT_TRUE(shared.CheckInvariants());
+}
+
+// Concurrency sweep: conservation and Space Saving bounds must hold for
+// every (threads, alpha) combination, for both lock flavours.
+template <typename Shared>
+void RunConcurrentStressTest(int threads, double alpha) {
+  const size_t kCapacity = 64;
+  Shared shared(MakeOptions(kCapacity));
+
+  ZipfOptions zopt;
+  zopt.alphabet_size = 5000;  // >> capacity: heavy overwrite churn
+  zopt.alpha = alpha;
+  zopt.seed = 7;
+  const uint64_t n = 40000;
+  Stream s = MakeZipfStream(n, zopt);
+
+  std::vector<std::thread> workers;
+  const uint64_t slice = n / static_cast<uint64_t>(threads);
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      const uint64_t begin = slice * static_cast<uint64_t>(t);
+      const uint64_t end = t == threads - 1 ? n : begin + slice;
+      for (uint64_t i = begin; i < end; ++i) shared.Offer(s[i], t);
+    });
+  }
+  for (std::thread& w : workers) w.join();
+
+  ASSERT_TRUE(shared.CheckInvariants());
+  EXPECT_EQ(shared.stream_length(), n);
+
+  // Per-element bounds vs ground truth.
+  ExactCounter exact(s);
+  for (const Counter& c : shared.CountersDescending()) {
+    const uint64_t truth = exact.Count(c.key);
+    EXPECT_LE(truth, c.count) << "key " << c.key;
+    EXPECT_LE(c.count, truth + c.error) << "key " << c.key;
+  }
+}
+
+class SharedStressTest
+    : public ::testing::TestWithParam<std::tuple<int, double>> {};
+
+TEST_P(SharedStressTest, MutexFlavourBoundsHold) {
+  RunConcurrentStressTest<SharedSpaceSavingMutex>(std::get<0>(GetParam()),
+                                                  std::get<1>(GetParam()));
+}
+
+TEST_P(SharedStressTest, SpinFlavourBoundsHold) {
+  RunConcurrentStressTest<SharedSpaceSavingSpin>(std::get<0>(GetParam()),
+                                                 std::get<1>(GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ThreadsByAlpha, SharedStressTest,
+    ::testing::Combine(::testing::Values(1, 2, 4, 8),
+                       ::testing::Values(1.1, 2.0, 3.0)));
+
+TEST(SharedSpaceSavingTest, ConstantStreamHammersOneElement) {
+  // Worst case for element-level synchronization: every thread fights for
+  // the same entry.
+  SharedSpaceSavingMutex shared(MakeOptions(4));
+  const int kThreads = 4;
+  const uint64_t kPerThread = 5000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      for (uint64_t i = 0; i < kPerThread; ++i) shared.Offer(42, t);
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(shared.Lookup(42)->count, kThreads * kPerThread);
+  EXPECT_EQ(shared.num_counters(), 1u);
+  EXPECT_TRUE(shared.CheckInvariants());
+}
+
+TEST(SharedSpaceSavingTest, RoundRobinChurnUnderThreads) {
+  // Worst case for the overwrite path: alphabet >> capacity, near-uniform.
+  SharedSpaceSavingMutex shared(MakeOptions(4));
+  Stream s = MakeRoundRobinStream(20000, 500);
+  const int kThreads = 4;
+  std::vector<std::thread> workers;
+  const size_t slice = s.size() / kThreads;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      const size_t begin = slice * static_cast<size_t>(t);
+      const size_t end = t == kThreads - 1 ? s.size() : begin + slice;
+      for (size_t i = begin; i < end; ++i) shared.Offer(s[i], t);
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(shared.stream_length(), 20000u);
+  EXPECT_EQ(shared.num_counters(), 4u);
+  EXPECT_TRUE(shared.CheckInvariants());
+}
+
+TEST(SharedSpaceSavingTest, ProfilerReceivesPhases) {
+  PhaseProfiler profiler(SharedPhases::Names(), 1, /*enabled=*/true);
+  SharedSpaceSavingMutex shared(MakeOptions(4));
+  ZipfOptions zopt;
+  zopt.alphabet_size = 100;
+  zopt.alpha = 1.5;
+  for (ElementId e : MakeZipfStream(5000, zopt)) {
+    shared.Offer(e, 0, &profiler);
+  }
+  std::vector<uint64_t> totals = profiler.TotalNanos();
+  EXPECT_GT(totals[SharedPhases::kHashOpns], 0u);
+  EXPECT_GT(totals[SharedPhases::kStructureOpns], 0u);
+  EXPECT_GT(totals[SharedPhases::kMinMaxLocks], 0u);
+}
+
+TEST(SharedSpaceSavingTest, ConcurrentReadersDuringWrites) {
+  SharedSpaceSavingMutex shared(MakeOptions(32));
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    while (!stop.load()) {
+      std::vector<Counter> counters = shared.CountersDescending();
+      uint64_t prev = ~uint64_t{0};
+      for (const Counter& c : counters) {
+        EXPECT_LE(c.count, prev);
+        prev = c.count;
+      }
+      shared.Lookup(1);
+    }
+  });
+  ZipfOptions zopt;
+  zopt.alphabet_size = 1000;
+  zopt.alpha = 2.0;
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 2; ++t) {
+    writers.emplace_back([&, t] {
+      ZipfOptions mine = zopt;
+      mine.seed = 100 + static_cast<uint64_t>(t);
+      for (ElementId e : MakeZipfStream(20000, mine)) shared.Offer(e, t);
+    });
+  }
+  for (std::thread& w : writers) w.join();
+  stop.store(true);
+  reader.join();
+  EXPECT_TRUE(shared.CheckInvariants());
+}
+
+}  // namespace
+}  // namespace cots

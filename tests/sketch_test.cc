@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include "core/count_min_sketch.h"
+#include "core/count_sketch.h"
+#include "stream/exact_counter.h"
+#include "stream/zipf_generator.h"
+
+namespace cots {
+namespace {
+
+TEST(CountMinSketchOptionsTest, Validate) {
+  CountMinSketchOptions opt;
+  EXPECT_TRUE(opt.Validate().ok());
+  opt.epsilon = 0.0;
+  EXPECT_TRUE(opt.Validate().IsInvalidArgument());
+  opt = CountMinSketchOptions{};
+  opt.delta = 1.0;
+  EXPECT_TRUE(opt.Validate().IsInvalidArgument());
+}
+
+TEST(CountMinSketchTest, DimensionsFromBounds) {
+  CountMinSketchOptions opt;
+  opt.epsilon = 0.01;
+  opt.delta = 0.01;
+  CountMinSketch cms(opt);
+  EXPECT_EQ(cms.width(), 272u);  // ceil(e / 0.01)
+  EXPECT_EQ(cms.depth(), 5u);    // ceil(ln 100)
+  EXPECT_EQ(cms.cells(), 272u * 5u);
+}
+
+TEST(CountMinSketchTest, NeverUnderestimates) {
+  CountMinSketchOptions opt;
+  opt.epsilon = 0.005;
+  CountMinSketch cms(opt);
+  ZipfOptions zopt;
+  zopt.alphabet_size = 2000;
+  zopt.alpha = 1.5;
+  Stream s = MakeZipfStream(30000, zopt);
+  cms.Process(s);
+  ExactCounter exact(s);
+  for (const auto& [key, truth] : exact.counts()) {
+    EXPECT_GE(cms.Estimate(key), truth) << key;
+  }
+}
+
+TEST(CountMinSketchTest, ErrorWithinEpsilonN) {
+  CountMinSketchOptions opt;
+  opt.epsilon = 0.01;
+  opt.delta = 0.001;
+  CountMinSketch cms(opt);
+  ZipfOptions zopt;
+  zopt.alphabet_size = 1000;
+  zopt.alpha = 2.0;
+  const uint64_t n = 50000;
+  Stream s = MakeZipfStream(n, zopt);
+  cms.Process(s);
+  ExactCounter exact(s);
+  // Probabilistic bound checked over the top elements (w.h.p. each).
+  const uint64_t bound = static_cast<uint64_t>(0.01 * static_cast<double>(n));
+  size_t violations = 0;
+  for (ElementId e : exact.TopK(100)) {
+    if (cms.Estimate(e) > exact.Count(e) + bound) ++violations;
+  }
+  EXPECT_LE(violations, 1u);  // delta = 0.1% per query
+}
+
+TEST(CountMinSketchTest, WeightedOffer) {
+  CountMinSketchOptions opt;
+  CountMinSketch cms(opt);
+  cms.Offer(42, 100);
+  EXPECT_GE(cms.Estimate(42), 100u);
+  EXPECT_EQ(cms.stream_length(), 100u);
+}
+
+TEST(CountMinSketchTest, UnseenElementNearZero) {
+  CountMinSketchOptions opt;
+  opt.epsilon = 0.001;
+  CountMinSketch cms(opt);
+  Stream s = MakeUniformStream(10000, 100, 3);
+  cms.Process(s);
+  // Unseen keys collide with ~eps*N mass at most (w.h.p.).
+  EXPECT_LE(cms.Estimate(0xdeadbeef), 10000u / 100);
+}
+
+TEST(CountSketchOptionsTest, Validate) {
+  CountSketchOptions opt;
+  EXPECT_TRUE(opt.Validate().ok());
+  opt.width = 0;
+  EXPECT_TRUE(opt.Validate().IsInvalidArgument());
+  opt = CountSketchOptions{};
+  opt.depth = 0;
+  EXPECT_TRUE(opt.Validate().IsInvalidArgument());
+}
+
+TEST(CountSketchTest, HeavyHittersAccurate) {
+  CountSketchOptions opt;
+  opt.width = 4096;
+  opt.depth = 5;
+  CountSketch cs(opt);
+  ZipfOptions zopt;
+  zopt.alphabet_size = 2000;
+  zopt.alpha = 2.0;
+  const uint64_t n = 50000;
+  Stream s = MakeZipfStream(n, zopt);
+  cs.Process(s);
+  ExactCounter exact(s);
+  // Count Sketch is unbiased; heavy hitters land within a few percent.
+  for (ElementId e : exact.TopK(5)) {
+    const double truth = static_cast<double>(exact.Count(e));
+    const double est = static_cast<double>(cs.Estimate(e));
+    EXPECT_NEAR(est, truth, truth * 0.15 + 50.0) << "key " << e;
+  }
+}
+
+TEST(CountSketchTest, WeightedOfferAndLength) {
+  CountSketchOptions opt;
+  CountSketch cs(opt);
+  cs.Offer(7, 500);
+  EXPECT_EQ(cs.stream_length(), 500u);
+  EXPECT_NEAR(static_cast<double>(cs.Estimate(7)), 500.0, 1.0);
+}
+
+TEST(CountSketchTest, RareElementClampsAtZero) {
+  CountSketchOptions opt;
+  opt.width = 64;  // heavy collisions: negative medians are possible
+  opt.depth = 3;
+  CountSketch cs(opt);
+  Stream s = MakeUniformStream(5000, 5000, 9);
+  cs.Process(s);
+  // Just exercise the clamp path on many unseen keys; no negative output.
+  for (ElementId e = 1; e < 100; ++e) {
+    EXPECT_GE(cs.Estimate(0xabcdef00 + e), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace cots

@@ -1,0 +1,210 @@
+#include "core/space_saving.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "stream/exact_counter.h"
+#include "stream/zipf_generator.h"
+
+namespace cots {
+namespace {
+
+SpaceSaving MakeWithCapacity(size_t capacity) {
+  SpaceSavingOptions opt;
+  opt.capacity = capacity;
+  EXPECT_TRUE(opt.Validate().ok());
+  return SpaceSaving(opt);
+}
+
+TEST(SpaceSavingOptionsTest, EpsilonDerivesCapacity) {
+  SpaceSavingOptions opt;
+  opt.epsilon = 0.01;
+  ASSERT_TRUE(opt.Validate().ok());
+  EXPECT_EQ(opt.capacity, 100u);
+}
+
+TEST(SpaceSavingOptionsTest, RejectsNoCapacityNoEpsilon) {
+  SpaceSavingOptions opt;
+  EXPECT_TRUE(opt.Validate().IsInvalidArgument());
+}
+
+TEST(SpaceSavingOptionsTest, RejectsEpsilonOutOfRange) {
+  SpaceSavingOptions opt;
+  opt.epsilon = 1.5;
+  EXPECT_TRUE(opt.Validate().IsInvalidArgument());
+  opt.epsilon = -0.1;
+  EXPECT_TRUE(opt.Validate().IsInvalidArgument());
+}
+
+TEST(SpaceSavingOptionsTest, ExplicitCapacityWins) {
+  SpaceSavingOptions opt;
+  opt.capacity = 7;
+  opt.epsilon = 0.5;
+  ASSERT_TRUE(opt.Validate().ok());
+  EXPECT_EQ(opt.capacity, 7u);
+}
+
+TEST(SpaceSavingTest, ExactWhenAlphabetFits) {
+  // "if the alphabet is small, the algorithm can give exact counts" (3.3).
+  SpaceSaving ss = MakeWithCapacity(10);
+  ss.Process({1, 2, 2, 3, 3, 3, 1, 1, 1});
+  EXPECT_EQ(ss.Lookup(1)->count, 4u);
+  EXPECT_EQ(ss.Lookup(2)->count, 2u);
+  EXPECT_EQ(ss.Lookup(3)->count, 3u);
+  EXPECT_EQ(ss.Lookup(1)->error, 0u);
+  EXPECT_EQ(ss.MinFreq(), 0u);  // structure never filled
+  EXPECT_FALSE(ss.Lookup(42).has_value());
+  EXPECT_TRUE(ss.CheckInvariants());
+}
+
+TEST(SpaceSavingTest, OverwriteEvictsMinimum) {
+  SpaceSaving ss = MakeWithCapacity(2);
+  ss.Offer(1);  // {1:1}
+  ss.Offer(2);  // {1:1, 2:1}
+  ss.Offer(2);  // {1:1, 2:2}
+  ss.Offer(3);  // 3 overwrites 1: {3:2(err 1), 2:2}
+  EXPECT_FALSE(ss.Lookup(1).has_value());
+  ASSERT_TRUE(ss.Lookup(3).has_value());
+  EXPECT_EQ(ss.Lookup(3)->count, 2u);
+  EXPECT_EQ(ss.Lookup(3)->error, 1u);
+  EXPECT_EQ(ss.num_counters(), 2u);
+  EXPECT_TRUE(ss.CheckInvariants());
+}
+
+TEST(SpaceSavingTest, CountConservation) {
+  SpaceSaving ss = MakeWithCapacity(5);
+  ZipfOptions opt;
+  opt.alphabet_size = 100;
+  opt.alpha = 1.5;
+  Stream s = MakeZipfStream(10000, opt);
+  ss.Process(s);
+  uint64_t total = 0;
+  for (const Counter& c : ss.CountersDescending()) total += c.count;
+  EXPECT_EQ(total, 10000u);
+  EXPECT_EQ(ss.stream_length(), 10000u);
+}
+
+TEST(SpaceSavingTest, WeightedOfferEquivalentToRepeats) {
+  SpaceSaving a = MakeWithCapacity(4);
+  SpaceSaving b = MakeWithCapacity(4);
+  const Stream s = {1, 1, 1, 2, 2, 3};
+  a.Process(s);
+  b.Offer(1, 3);
+  b.Offer(2, 2);
+  b.Offer(3, 1);
+  EXPECT_EQ(a.Lookup(1)->count, b.Lookup(1)->count);
+  EXPECT_EQ(a.Lookup(2)->count, b.Lookup(2)->count);
+  EXPECT_EQ(a.Lookup(3)->count, b.Lookup(3)->count);
+}
+
+TEST(SpaceSavingTest, CountersDescendingIsSorted) {
+  SpaceSaving ss = MakeWithCapacity(50);
+  ZipfOptions opt;
+  opt.alphabet_size = 40;
+  opt.alpha = 1.5;
+  ss.Process(MakeZipfStream(5000, opt));
+  std::vector<Counter> counters = ss.CountersDescending();
+  for (size_t i = 1; i < counters.size(); ++i) {
+    EXPECT_GE(counters[i - 1].count, counters[i].count);
+  }
+}
+
+TEST(SpaceSavingTest, MinFreqBoundsUnmonitoredElements) {
+  SpaceSaving ss = MakeWithCapacity(8);
+  ZipfOptions opt;
+  opt.alphabet_size = 1000;
+  opt.alpha = 1.5;
+  Stream s = MakeZipfStream(20000, opt);
+  ss.Process(s);
+  ExactCounter exact(s);
+  const uint64_t min_freq = ss.MinFreq();
+  for (const auto& [key, truth] : exact.counts()) {
+    if (!ss.Lookup(key).has_value()) {
+      EXPECT_LE(truth, min_freq) << "unmonitored key " << key;
+    }
+  }
+}
+
+// Property sweep across the paper's alphas and a range of capacities:
+// the four Space Saving guarantees hold on every combination.
+class SpaceSavingPropertyTest
+    : public ::testing::TestWithParam<std::tuple<double, size_t>> {};
+
+TEST_P(SpaceSavingPropertyTest, GuaranteesHold) {
+  const double alpha = std::get<0>(GetParam());
+  const size_t capacity = std::get<1>(GetParam());
+  ZipfOptions opt;
+  opt.alphabet_size = 5000;
+  opt.alpha = alpha;
+  opt.seed = 99;
+  const uint64_t n = 30000;
+  Stream s = MakeZipfStream(n, opt);
+
+  SpaceSaving ss = MakeWithCapacity(capacity);
+  ss.Process(s);
+  ExactCounter exact(s);
+
+  ASSERT_TRUE(ss.CheckInvariants());
+
+  // P1: count conservation.
+  uint64_t total = 0;
+  for (const Counter& c : ss.CountersDescending()) total += c.count;
+  EXPECT_EQ(total, n);
+
+  // P2: per-element bounds true <= est <= true + error.
+  for (const Counter& c : ss.CountersDescending()) {
+    const uint64_t truth = exact.Count(c.key);
+    EXPECT_LE(truth, c.count);
+    EXPECT_LE(c.count, truth + c.error);
+  }
+
+  // P3: min counter <= N / m.
+  EXPECT_LE(ss.MinFreq(), n / capacity);
+
+  // P4: every element with true frequency > N/m is monitored.
+  for (const auto& [key, truth] : exact.counts()) {
+    if (truth > n / capacity) {
+      EXPECT_TRUE(ss.Lookup(key).has_value())
+          << "key " << key << " freq " << truth << " missing";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AlphaByCapacity, SpaceSavingPropertyTest,
+    ::testing::Combine(::testing::Values(1.1, 1.5, 2.0, 2.5, 3.0),
+                       ::testing::Values(size_t{4}, size_t{16}, size_t{64},
+                                         size_t{256})));
+
+TEST(SpaceSavingTest, AdversarialRoundRobinChurn) {
+  // Round-robin over an alphabet much larger than capacity: every offer
+  // after warm-up is an overwrite.
+  SpaceSaving ss = MakeWithCapacity(4);
+  Stream s = MakeRoundRobinStream(10000, 100);
+  ss.Process(s);
+  EXPECT_EQ(ss.num_counters(), 4u);
+  uint64_t total = 0;
+  for (const Counter& c : ss.CountersDescending()) total += c.count;
+  EXPECT_EQ(total, 10000u);
+  EXPECT_TRUE(ss.CheckInvariants());
+}
+
+TEST(SpaceSavingTest, ConstantStreamSingleCounter) {
+  SpaceSaving ss = MakeWithCapacity(4);
+  ss.Process(MakeConstantStream(5000, 42));
+  EXPECT_EQ(ss.num_counters(), 1u);
+  EXPECT_EQ(ss.Lookup(42)->count, 5000u);
+  EXPECT_EQ(ss.Lookup(42)->error, 0u);
+}
+
+TEST(SpaceSavingTest, CapacityOneAlwaysTracksRunningTotal) {
+  SpaceSaving ss = MakeWithCapacity(1);
+  ss.Process({1, 2, 3, 4, 5});
+  EXPECT_EQ(ss.num_counters(), 1u);
+  EXPECT_EQ(ss.Lookup(5)->count, 5u);  // inherits every predecessor's count
+  EXPECT_EQ(ss.Lookup(5)->error, 4u);
+}
+
+}  // namespace
+}  // namespace cots

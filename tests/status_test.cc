@@ -1,0 +1,53 @@
+#include "util/status.h"
+
+#include <gtest/gtest.h>
+
+namespace cots {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+  EXPECT_TRUE(s.message().empty());
+}
+
+TEST(StatusTest, OkFactory) {
+  EXPECT_TRUE(Status::OK().ok());
+}
+
+TEST(StatusTest, InvalidArgumentCarriesMessage) {
+  Status s = Status::InvalidArgument("epsilon must be positive");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_EQ(s.message(), "epsilon must be positive");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: epsilon must be positive");
+}
+
+TEST(StatusTest, CodePredicatesAreExclusive) {
+  Status s = Status::NotFound("x");
+  EXPECT_TRUE(s.IsNotFound());
+  EXPECT_FALSE(s.IsInvalidArgument());
+  EXPECT_FALSE(s.IsCapacityExceeded());
+  EXPECT_FALSE(s.IsNotSupported());
+  EXPECT_FALSE(s.IsInternal());
+  EXPECT_FALSE(s.ok());
+}
+
+TEST(StatusTest, AllCodesRenderNames) {
+  EXPECT_EQ(Status::NotFound("").ToString(), "NotFound");
+  EXPECT_EQ(Status::CapacityExceeded("full").ToString(),
+            "CapacityExceeded: full");
+  EXPECT_EQ(Status::NotSupported("no").ToString(), "NotSupported: no");
+  EXPECT_EQ(Status::Internal("bug").ToString(), "Internal: bug");
+}
+
+TEST(StatusTest, CopyPreservesState) {
+  Status s = Status::Internal("boom");
+  Status t = s;
+  EXPECT_TRUE(t.IsInternal());
+  EXPECT_EQ(t.message(), "boom");
+}
+
+}  // namespace
+}  // namespace cots

@@ -1,0 +1,202 @@
+#include "core/stream_summary.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "util/random.h"
+
+namespace cots {
+namespace {
+
+TEST(StreamSummaryTest, EmptySummary) {
+  StreamSummary s;
+  EXPECT_EQ(s.size(), 0u);
+  EXPECT_EQ(s.num_buckets(), 0u);
+  EXPECT_EQ(s.MinNode(), nullptr);
+  EXPECT_EQ(s.MinFreq(), 0u);
+  EXPECT_EQ(s.MaxBucket(), nullptr);
+  EXPECT_TRUE(s.CheckInvariants());
+}
+
+TEST(StreamSummaryTest, InsertCreatesBucket) {
+  StreamSummary s;
+  StreamSummary::Node* n = s.Insert(7, 1, 0);
+  ASSERT_NE(n, nullptr);
+  EXPECT_EQ(n->key, 7u);
+  EXPECT_EQ(StreamSummary::FreqOf(n), 1u);
+  EXPECT_EQ(s.size(), 1u);
+  EXPECT_EQ(s.num_buckets(), 1u);
+  EXPECT_EQ(s.MinFreq(), 1u);
+  EXPECT_TRUE(s.CheckInvariants());
+}
+
+TEST(StreamSummaryTest, ElementsWithSameFreqShareBucket) {
+  StreamSummary s;
+  s.Insert(1, 5, 0);
+  s.Insert(2, 5, 0);
+  s.Insert(3, 5, 0);
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_EQ(s.num_buckets(), 1u);
+  EXPECT_TRUE(s.CheckInvariants());
+}
+
+TEST(StreamSummaryTest, BucketsStaySorted) {
+  StreamSummary s;
+  s.Insert(1, 10, 0);
+  s.Insert(2, 1, 0);
+  s.Insert(3, 5, 0);
+  EXPECT_EQ(s.MinFreq(), 1u);
+  EXPECT_EQ(s.MaxBucket()->freq, 10u);
+  std::vector<uint64_t> freqs;
+  for (const StreamSummary::Bucket* b = s.MinBucket(); b != nullptr;
+       b = b->next) {
+    freqs.push_back(b->freq);
+  }
+  EXPECT_EQ(freqs, (std::vector<uint64_t>{1, 5, 10}));
+  EXPECT_TRUE(s.CheckInvariants());
+}
+
+TEST(StreamSummaryTest, IncrementMovesToNextBucket) {
+  StreamSummary s;
+  StreamSummary::Node* a = s.Insert(1, 1, 0);
+  s.Insert(2, 1, 0);
+  s.Increment(a, 1);
+  EXPECT_EQ(StreamSummary::FreqOf(a), 2u);
+  EXPECT_EQ(s.num_buckets(), 2u);
+  EXPECT_EQ(s.MinFreq(), 1u);
+  EXPECT_TRUE(s.CheckInvariants());
+}
+
+TEST(StreamSummaryTest, IncrementReplacesSingletonBucket) {
+  StreamSummary s;
+  StreamSummary::Node* a = s.Insert(1, 1, 0);
+  s.Increment(a, 1);
+  EXPECT_EQ(s.num_buckets(), 1u);
+  EXPECT_EQ(s.MinFreq(), 2u);
+  EXPECT_TRUE(s.CheckInvariants());
+}
+
+TEST(StreamSummaryTest, BulkIncrementSkipsBuckets) {
+  StreamSummary s;
+  StreamSummary::Node* a = s.Insert(1, 1, 0);
+  s.Insert(2, 3, 0);
+  s.Insert(3, 5, 0);
+  s.Increment(a, 100);
+  EXPECT_EQ(StreamSummary::FreqOf(a), 101u);
+  EXPECT_EQ(s.MaxBucket()->freq, 101u);
+  EXPECT_TRUE(s.CheckInvariants());
+}
+
+TEST(StreamSummaryTest, IncrementMergesIntoExistingBucket) {
+  StreamSummary s;
+  StreamSummary::Node* a = s.Insert(1, 1, 0);
+  s.Insert(2, 4, 0);
+  s.Increment(a, 3);  // 1 + 3 == 4: joins element 2's bucket
+  EXPECT_EQ(s.num_buckets(), 1u);
+  EXPECT_EQ(s.MinFreq(), 4u);
+  EXPECT_EQ(s.MinBucket()->size, 2u);
+  EXPECT_TRUE(s.CheckInvariants());
+}
+
+TEST(StreamSummaryTest, EraseRemovesNodeAndEmptyBucket) {
+  StreamSummary s;
+  StreamSummary::Node* a = s.Insert(1, 1, 0);
+  s.Insert(2, 2, 0);
+  s.Erase(a);
+  EXPECT_EQ(s.size(), 1u);
+  EXPECT_EQ(s.num_buckets(), 1u);
+  EXPECT_EQ(s.MinFreq(), 2u);
+  EXPECT_TRUE(s.CheckInvariants());
+}
+
+TEST(StreamSummaryTest, ReassignKeepsPosition) {
+  StreamSummary s;
+  StreamSummary::Node* a = s.Insert(1, 6, 0);
+  s.Reassign(a, 99, 6);
+  EXPECT_EQ(a->key, 99u);
+  EXPECT_EQ(a->error, 6u);
+  EXPECT_EQ(StreamSummary::FreqOf(a), 6u);
+  EXPECT_TRUE(s.CheckInvariants());
+}
+
+TEST(StreamSummaryTest, MinNodeTracksMinimum) {
+  StreamSummary s;
+  StreamSummary::Node* low = s.Insert(1, 1, 0);
+  s.Insert(2, 9, 0);
+  EXPECT_EQ(s.MinNode(), low);
+  s.Increment(low, 20);
+  EXPECT_EQ(s.MinNode()->key, 2u);
+}
+
+// The paper's Figure 2 walkthrough: stream <e1, e3, e3, e2, e2>.
+TEST(StreamSummaryTest, PaperFigure2Walkthrough) {
+  StreamSummary s;
+  std::map<ElementId, StreamSummary::Node*> index;
+  auto offer = [&](ElementId e) {
+    auto it = index.find(e);
+    if (it != index.end()) {
+      s.Increment(it->second, 1);
+    } else {
+      index[e] = s.Insert(e, 1, 0);
+    }
+  };
+  offer(1);
+  offer(3);
+  offer(3);
+  offer(2);
+  // Figure 2(a): bucket f=1 holds {e1, e2}, bucket f=2 holds {e3}.
+  EXPECT_EQ(s.MinFreq(), 1u);
+  EXPECT_EQ(s.MinBucket()->size, 2u);
+  EXPECT_EQ(s.MaxBucket()->freq, 2u);
+  EXPECT_EQ(s.MaxBucket()->size, 1u);
+
+  offer(2);
+  // Figure 2(b): e2 promoted into f=2 alongside e3; e1 alone at f=1.
+  EXPECT_EQ(s.MinFreq(), 1u);
+  EXPECT_EQ(s.MinBucket()->size, 1u);
+  EXPECT_EQ(s.MinNode()->key, 1u);
+  EXPECT_EQ(s.MaxBucket()->freq, 2u);
+  EXPECT_EQ(s.MaxBucket()->size, 2u);
+  EXPECT_TRUE(s.CheckInvariants());
+}
+
+// Randomized differential test against a plain map of frequencies.
+TEST(StreamSummaryTest, RandomOpsMatchReferenceModel) {
+  StreamSummary s;
+  std::map<ElementId, StreamSummary::Node*> index;
+  std::map<ElementId, uint64_t> model;
+  Xoshiro256 rng(2024);
+
+  for (int op = 0; op < 20000; ++op) {
+    const ElementId key = rng.NextBounded(64);
+    auto it = index.find(key);
+    const uint64_t action = rng.NextBounded(10);
+    if (it == index.end()) {
+      const uint64_t freq = 1 + rng.NextBounded(5);
+      index[key] = s.Insert(key, freq, 0);
+      model[key] = freq;
+    } else if (action == 9) {
+      s.Erase(it->second);
+      index.erase(it);
+      model.erase(key);
+    } else {
+      const uint64_t delta = 1 + rng.NextBounded(7);
+      s.Increment(it->second, delta);
+      model[key] += delta;
+    }
+    if (op % 1000 == 0) {
+      ASSERT_TRUE(s.CheckInvariants());
+    }
+  }
+  ASSERT_TRUE(s.CheckInvariants());
+  ASSERT_EQ(s.size(), model.size());
+  for (const auto& [key, node] : index) {
+    EXPECT_EQ(StreamSummary::FreqOf(node), model[key]) << "key=" << key;
+  }
+}
+
+}  // namespace
+}  // namespace cots

@@ -1,0 +1,120 @@
+#include "cots/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+namespace cots {
+namespace {
+
+TEST(ThreadPoolTest, ExecutesSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&done] { done.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(done.load(), 100);
+}
+
+TEST(ThreadPoolTest, WaitOnEmptyPoolReturnsImmediately) {
+  ThreadPool pool(2);
+  pool.Wait();
+  SUCCEED();
+}
+
+TEST(ThreadPoolTest, TasksRunConcurrentlyAcrossWorkers) {
+  ThreadPool pool(4);
+  std::atomic<int> in_flight{0};
+  std::atomic<int> max_in_flight{0};
+  for (int i = 0; i < 16; ++i) {
+    pool.Submit([&] {
+      const int now = in_flight.fetch_add(1) + 1;
+      int seen = max_in_flight.load();
+      while (now > seen && !max_in_flight.compare_exchange_weak(seen, now)) {
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      in_flight.fetch_sub(1);
+    });
+  }
+  pool.Wait();
+  // On a single-core box the OS still timeslices blocked-in-sleep tasks, so
+  // more than one task overlaps.
+  EXPECT_GE(max_in_flight.load(), 2);
+}
+
+TEST(ThreadPoolTest, ParkReducesActiveWorkers) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.Park(2), 2);
+  // Workers park when idle; give them a moment.
+  for (int i = 0; i < 100 && pool.parked() < 2; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(pool.parked(), 2);
+  EXPECT_EQ(pool.active(), 2);
+}
+
+TEST(ThreadPoolTest, ParkedWorkersDoNotStealTasks) {
+  ThreadPool pool(2);
+  ASSERT_EQ(pool.Park(2), 2);
+  for (int i = 0; i < 100 && pool.parked() < 2; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  std::atomic<int> done{0};
+  pool.Submit([&done] { done.fetch_add(1); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(done.load(), 0);  // everyone is asleep
+  EXPECT_EQ(pool.Unpark(1), 1);
+  pool.Wait();
+  EXPECT_EQ(done.load(), 1);
+}
+
+TEST(ThreadPoolTest, UnparkRestoresWorkers) {
+  ThreadPool pool(4);
+  pool.Park(3);
+  for (int i = 0; i < 100 && pool.parked() < 3; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(pool.Unpark(2), 2);
+  for (int i = 0; i < 100 && pool.parked() > 1; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(pool.parked(), 1);
+}
+
+TEST(ThreadPoolTest, ParkMoreThanAvailableClamps) {
+  ThreadPool pool(2);
+  EXPECT_EQ(pool.Park(5), 2);
+  EXPECT_EQ(pool.Park(1), 0);
+}
+
+TEST(ThreadPoolTest, UnparkCancelsPendingParkRequests) {
+  ThreadPool pool(2);
+  // Keep workers busy so park requests stay pending.
+  std::atomic<bool> release{false};
+  for (int i = 0; i < 2; ++i) {
+    pool.Submit([&release] {
+      while (!release.load()) std::this_thread::yield();
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_EQ(pool.Park(2), 2);
+  EXPECT_EQ(pool.Unpark(2), 2);  // cancelled before anyone slept
+  release.store(true);
+  pool.Wait();
+  EXPECT_EQ(pool.parked(), 0);
+}
+
+TEST(ThreadPoolTest, DestructorJoinsWithParkedWorkers) {
+  {
+    ThreadPool pool(3);
+    pool.Park(3);
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }  // must not hang
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace cots

@@ -1,0 +1,33 @@
+#include "util/thread_utils.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace cots {
+namespace {
+
+TEST(ThreadUtilsTest, HardwareConcurrencyPositive) {
+  EXPECT_GE(HardwareConcurrency(), 1);
+}
+
+TEST(ThreadUtilsTest, TopologySummaryMentionsThreadCount) {
+  const std::string summary = CpuTopologySummary();
+  EXPECT_NE(summary.find("hardware thread"), std::string::npos);
+  EXPECT_NE(summary.find(std::to_string(HardwareConcurrency())),
+            std::string::npos);
+}
+
+TEST(ThreadUtilsTest, PinCurrentThreadInRange) {
+  // Pinning is best-effort; it must not crash and, on Linux, succeeds for
+  // any cpu index because of the internal modulo.
+  std::thread worker([] {
+    PinCurrentThreadToCpu(0);
+    PinCurrentThreadToCpu(12345);  // wraps via modulo
+  });
+  worker.join();
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace cots

@@ -1,0 +1,84 @@
+#include "stream/trace_io.h"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "stream/zipf_generator.h"
+
+namespace cots {
+namespace {
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+TEST(TraceIoTest, RoundTrip) {
+  const std::string path = TempPath("roundtrip.ctrc");
+  ZipfOptions opt;
+  opt.alphabet_size = 500;
+  opt.alpha = 2.0;
+  Stream original = MakeZipfStream(10000, opt);
+  ASSERT_TRUE(WriteTrace(path, original).ok());
+  Stream loaded;
+  ASSERT_TRUE(ReadTrace(path, &loaded).ok());
+  EXPECT_EQ(loaded, original);
+  std::remove(path.c_str());
+}
+
+TEST(TraceIoTest, EmptyStreamRoundTrip) {
+  const std::string path = TempPath("empty.ctrc");
+  ASSERT_TRUE(WriteTrace(path, {}).ok());
+  Stream loaded = {1, 2, 3};
+  ASSERT_TRUE(ReadTrace(path, &loaded).ok());
+  EXPECT_TRUE(loaded.empty());
+  std::remove(path.c_str());
+}
+
+TEST(TraceIoTest, MissingFileIsNotFound) {
+  Stream out;
+  Status s = ReadTrace(TempPath("does_not_exist.ctrc"), &out);
+  EXPECT_TRUE(s.IsNotFound());
+}
+
+TEST(TraceIoTest, BadMagicRejected) {
+  const std::string path = TempPath("badmagic.ctrc");
+  {
+    std::ofstream f(path, std::ios::binary);
+    f << "this is not a trace file at all, definitely";
+  }
+  Stream out;
+  Status s = ReadTrace(path, &out);
+  EXPECT_TRUE(s.IsInvalidArgument()) << s.ToString();
+  std::remove(path.c_str());
+}
+
+TEST(TraceIoTest, TruncatedFileRejected) {
+  const std::string path = TempPath("trunc.ctrc");
+  ASSERT_TRUE(WriteTrace(path, {1, 2, 3, 4, 5, 6, 7, 8}).ok());
+  // Chop the tail off: header (16 bytes) + 3 of the 8 elements survive.
+  ASSERT_EQ(truncate(path.c_str(), 16 + 3 * 8), 0);
+  Stream out;
+  Status s = ReadTrace(path, &out);
+  EXPECT_TRUE(s.IsInternal()) << s.ToString();
+  EXPECT_TRUE(out.empty());
+  std::remove(path.c_str());
+}
+
+TEST(TraceIoTest, TruncatedHeaderRejected) {
+  const std::string path = TempPath("hdr.ctrc");
+  {
+    std::ofstream f(path, std::ios::binary);
+    f << "CTRC";  // 4 bytes only
+  }
+  Stream out;
+  Status s = ReadTrace(path, &out);
+  EXPECT_TRUE(s.IsInternal()) << s.ToString();
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace cots

@@ -1,0 +1,161 @@
+#include "stream/zipf_generator.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+namespace cots {
+namespace {
+
+TEST(ZipfGeneratorTest, RanksStayInAlphabet) {
+  ZipfOptions opt;
+  opt.alphabet_size = 100;
+  opt.alpha = 1.5;
+  ZipfGenerator gen(opt);
+  for (int i = 0; i < 100000; ++i) {
+    const uint64_t r = gen.NextRank();
+    EXPECT_GE(r, 1u);
+    EXPECT_LE(r, 100u);
+  }
+}
+
+TEST(ZipfGeneratorTest, DeterministicForSeed) {
+  ZipfOptions opt;
+  opt.seed = 77;
+  ZipfGenerator a(opt), b(opt);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(ZipfGeneratorTest, KeyPermutationIsBijective) {
+  ZipfOptions opt;
+  opt.alphabet_size = 10000;
+  ZipfGenerator gen(opt);
+  std::set<ElementId> keys;
+  for (uint64_t r = 1; r <= opt.alphabet_size; ++r) {
+    keys.insert(gen.KeyOfRank(r));
+  }
+  EXPECT_EQ(keys.size(), opt.alphabet_size);
+}
+
+TEST(ZipfGeneratorTest, PermutationOffByDefaultKeepsRanks) {
+  ZipfOptions opt;
+  opt.permute_keys = false;
+  ZipfGenerator gen(opt);
+  EXPECT_EQ(gen.KeyOfRank(1), 1u);
+  EXPECT_EQ(gen.KeyOfRank(42), 42u);
+}
+
+// The empirical frequency of rank 1 must match f_1 = N / zeta(alpha) within
+// sampling noise, for each alpha the paper evaluates.
+class ZipfFrequencyTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZipfFrequencyTest, HeadFrequencyMatchesAnalytic) {
+  const double alpha = GetParam();
+  ZipfOptions opt;
+  opt.alphabet_size = 100000;
+  opt.alpha = alpha;
+  opt.permute_keys = false;
+  opt.seed = 1234;
+  ZipfGenerator gen(opt);
+  const uint64_t n = 200000;
+  std::map<uint64_t, uint64_t> counts;
+  for (uint64_t i = 0; i < n; ++i) ++counts[gen.NextRank()];
+
+  for (uint64_t rank : {uint64_t{1}, uint64_t{2}, uint64_t{3}}) {
+    const double expected = gen.ExpectedFrequency(rank, n);
+    const double got = static_cast<double>(counts[rank]);
+    // 5 sigma of a binomial with p = expected/n.
+    const double sigma = std::sqrt(expected * (1.0 - expected / n));
+    EXPECT_NEAR(got, expected, 5.0 * sigma + 1.0)
+        << "alpha=" << alpha << " rank=" << rank;
+  }
+}
+
+TEST_P(ZipfFrequencyTest, FrequenciesDecreaseWithRank) {
+  const double alpha = GetParam();
+  ZipfOptions opt;
+  opt.alphabet_size = 1000;
+  opt.alpha = alpha;
+  opt.permute_keys = false;
+  ZipfGenerator gen(opt);
+  const uint64_t n = 300000;
+  std::map<uint64_t, uint64_t> counts;
+  for (uint64_t i = 0; i < n; ++i) ++counts[gen.NextRank()];
+  // Rank 1 strictly dominates rank 4 and beyond (adjacent ranks may invert
+  // by noise at low alpha, a 4x frequency gap may not).
+  EXPECT_GT(counts[1], counts[4]);
+  EXPECT_GT(counts[1], counts[16]);
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperAlphas, ZipfFrequencyTest,
+                         ::testing::Values(1.0, 1.5, 2.0, 2.5, 3.0));
+
+TEST(ZipfGeneratorTest, ExpectedFrequenciesSumToN) {
+  ZipfOptions opt;
+  opt.alphabet_size = 1000;
+  opt.alpha = 2.0;
+  ZipfGenerator gen(opt);
+  const uint64_t n = 1000000;
+  double sum = 0;
+  for (uint64_t r = 1; r <= opt.alphabet_size; ++r) {
+    sum += gen.ExpectedFrequency(r, n);
+  }
+  EXPECT_NEAR(sum, static_cast<double>(n), static_cast<double>(n) * 1e-6);
+}
+
+TEST(StreamBuildersTest, ZipfStreamHasRequestedLength) {
+  ZipfOptions opt;
+  opt.alphabet_size = 100;
+  Stream s = MakeZipfStream(5000, opt);
+  EXPECT_EQ(s.size(), 5000u);
+}
+
+TEST(StreamBuildersTest, UniformStreamCoversAlphabet) {
+  Stream s = MakeUniformStream(20000, 16, 9);
+  std::set<ElementId> distinct(s.begin(), s.end());
+  EXPECT_EQ(distinct.size(), 16u);
+}
+
+TEST(StreamBuildersTest, ConstantStreamIsConstant) {
+  Stream s = MakeConstantStream(100, 7);
+  EXPECT_EQ(s.size(), 100u);
+  EXPECT_TRUE(std::all_of(s.begin(), s.end(),
+                          [](ElementId e) { return e == 7; }));
+}
+
+TEST(StreamBuildersTest, RoundRobinCyclesAlphabet) {
+  Stream s = MakeRoundRobinStream(10, 3);
+  EXPECT_EQ(s[0], s[3]);
+  EXPECT_EQ(s[1], s[4]);
+  EXPECT_NE(s[0], s[1]);
+}
+
+TEST(StreamBuildersTest, SkewFlipChangesHotSet) {
+  ZipfOptions opt;
+  opt.alphabet_size = 1000;
+  opt.alpha = 2.0;
+  Stream s = MakeSkewFlipStream(20000, opt);
+  ASSERT_EQ(s.size(), 20000u);
+  // The most common element of each half must differ.
+  std::map<ElementId, int> first, second;
+  for (size_t i = 0; i < 10000; ++i) ++first[s[i]];
+  for (size_t i = 10000; i < 20000; ++i) ++second[s[i]];
+  auto mode = [](const std::map<ElementId, int>& m) {
+    ElementId best = 0;
+    int best_count = -1;
+    for (const auto& [k, v] : m) {
+      if (v > best_count) {
+        best = k;
+        best_count = v;
+      }
+    }
+    return best;
+  };
+  EXPECT_NE(mode(first), mode(second));
+}
+
+}  // namespace
+}  // namespace cots
