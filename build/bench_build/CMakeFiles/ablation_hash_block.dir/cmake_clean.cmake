@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_hash_block"
+  "../bench/ablation_hash_block.pdb"
+  "CMakeFiles/ablation_hash_block.dir/ablation_hash_block.cc.o"
+  "CMakeFiles/ablation_hash_block.dir/ablation_hash_block.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_hash_block.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_lock_kind"
+  "../bench/ablation_lock_kind.pdb"
+  "CMakeFiles/ablation_lock_kind.dir/ablation_lock_kind.cc.o"
+  "CMakeFiles/ablation_lock_kind.dir/ablation_lock_kind.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_lock_kind.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_merge_strategy"
+  "../bench/ablation_merge_strategy.pdb"
+  "CMakeFiles/ablation_merge_strategy.dir/ablation_merge_strategy.cc.o"
+  "CMakeFiles/ablation_merge_strategy.dir/ablation_merge_strategy.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_merge_strategy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

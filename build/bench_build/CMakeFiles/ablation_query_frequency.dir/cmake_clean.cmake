@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_query_frequency"
+  "../bench/ablation_query_frequency.pdb"
+  "CMakeFiles/ablation_query_frequency.dir/ablation_query_frequency.cc.o"
+  "CMakeFiles/ablation_query_frequency.dir/ablation_query_frequency.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_query_frequency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

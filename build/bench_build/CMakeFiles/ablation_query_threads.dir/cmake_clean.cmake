@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_query_threads"
+  "../bench/ablation_query_threads.pdb"
+  "CMakeFiles/ablation_query_threads.dir/ablation_query_threads.cc.o"
+  "CMakeFiles/ablation_query_threads.dir/ablation_query_threads.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_query_threads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/ablation_sketch_vs_counter"
+  "../bench/ablation_sketch_vs_counter.pdb"
+  "CMakeFiles/ablation_sketch_vs_counter.dir/ablation_sketch_vs_counter.cc.o"
+  "CMakeFiles/ablation_sketch_vs_counter.dir/ablation_sketch_vs_counter.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_sketch_vs_counter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_sketch_vs_counter.
+# This may be replaced when dependencies are built.

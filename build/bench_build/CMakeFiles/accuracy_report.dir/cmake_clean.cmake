@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/accuracy_report"
+  "../bench/accuracy_report.pdb"
+  "CMakeFiles/accuracy_report.dir/accuracy_report.cc.o"
+  "CMakeFiles/accuracy_report.dir/accuracy_report.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/accuracy_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig12_cots_scaling"
+  "../bench/fig12_cots_scaling.pdb"
+  "CMakeFiles/fig12_cots_scaling.dir/fig12_cots_scaling.cc.o"
+  "CMakeFiles/fig12_cots_scaling.dir/fig12_cots_scaling.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_cots_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

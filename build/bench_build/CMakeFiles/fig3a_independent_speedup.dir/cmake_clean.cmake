@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3a_independent_speedup"
+  "../bench/fig3a_independent_speedup.pdb"
+  "CMakeFiles/fig3a_independent_speedup.dir/fig3a_independent_speedup.cc.o"
+  "CMakeFiles/fig3a_independent_speedup.dir/fig3a_independent_speedup.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3a_independent_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

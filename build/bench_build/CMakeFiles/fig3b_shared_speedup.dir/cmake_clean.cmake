@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3b_shared_speedup"
+  "../bench/fig3b_shared_speedup.pdb"
+  "CMakeFiles/fig3b_shared_speedup.dir/fig3b_shared_speedup.cc.o"
+  "CMakeFiles/fig3b_shared_speedup.dir/fig3b_shared_speedup.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3b_shared_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

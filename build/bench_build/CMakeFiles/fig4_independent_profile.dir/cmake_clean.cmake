@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_independent_profile"
+  "../bench/fig4_independent_profile.pdb"
+  "CMakeFiles/fig4_independent_profile.dir/fig4_independent_profile.cc.o"
+  "CMakeFiles/fig4_independent_profile.dir/fig4_independent_profile.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_independent_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_shared_profile"
+  "../bench/fig5_shared_profile.pdb"
+  "CMakeFiles/fig5_shared_profile.dir/fig5_shared_profile.cc.o"
+  "CMakeFiles/fig5_shared_profile.dir/fig5_shared_profile.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_shared_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_independent_scaling"
+  "../bench/fig6_independent_scaling.pdb"
+  "CMakeFiles/fig6_independent_scaling.dir/fig6_independent_scaling.cc.o"
+  "CMakeFiles/fig6_independent_scaling.dir/fig6_independent_scaling.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_independent_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

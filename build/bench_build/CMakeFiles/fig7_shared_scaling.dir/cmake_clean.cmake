@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig7_shared_scaling"
+  "../bench/fig7_shared_scaling.pdb"
+  "CMakeFiles/fig7_shared_scaling.dir/fig7_shared_scaling.cc.o"
+  "CMakeFiles/fig7_shared_scaling.dir/fig7_shared_scaling.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_shared_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

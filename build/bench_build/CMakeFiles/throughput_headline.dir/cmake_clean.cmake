@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/throughput_headline"
+  "../bench/throughput_headline.pdb"
+  "CMakeFiles/throughput_headline.dir/throughput_headline.cc.o"
+  "CMakeFiles/throughput_headline.dir/throughput_headline.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/throughput_headline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ad_click_analytics.dir/ad_click_analytics.cpp.o"
+  "CMakeFiles/ad_click_analytics.dir/ad_click_analytics.cpp.o.d"
+  "ad_click_analytics"
+  "ad_click_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ad_click_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cots_baselines.dir/hybrid_space_saving.cc.o"
+  "CMakeFiles/cots_baselines.dir/hybrid_space_saving.cc.o.d"
+  "CMakeFiles/cots_baselines.dir/independent_space_saving.cc.o"
+  "CMakeFiles/cots_baselines.dir/independent_space_saving.cc.o.d"
+  "CMakeFiles/cots_baselines.dir/shared_space_saving.cc.o"
+  "CMakeFiles/cots_baselines.dir/shared_space_saving.cc.o.d"
+  "libcots_baselines.a"
+  "libcots_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cots_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/accuracy.cc" "src/core/CMakeFiles/cots_core.dir/accuracy.cc.o" "gcc" "src/core/CMakeFiles/cots_core.dir/accuracy.cc.o.d"
+  "/root/repo/src/core/continuous_monitor.cc" "src/core/CMakeFiles/cots_core.dir/continuous_monitor.cc.o" "gcc" "src/core/CMakeFiles/cots_core.dir/continuous_monitor.cc.o.d"
+  "/root/repo/src/core/count_min_sketch.cc" "src/core/CMakeFiles/cots_core.dir/count_min_sketch.cc.o" "gcc" "src/core/CMakeFiles/cots_core.dir/count_min_sketch.cc.o.d"
+  "/root/repo/src/core/count_sketch.cc" "src/core/CMakeFiles/cots_core.dir/count_sketch.cc.o" "gcc" "src/core/CMakeFiles/cots_core.dir/count_sketch.cc.o.d"
+  "/root/repo/src/core/lossy_counting.cc" "src/core/CMakeFiles/cots_core.dir/lossy_counting.cc.o" "gcc" "src/core/CMakeFiles/cots_core.dir/lossy_counting.cc.o.d"
+  "/root/repo/src/core/misra_gries.cc" "src/core/CMakeFiles/cots_core.dir/misra_gries.cc.o" "gcc" "src/core/CMakeFiles/cots_core.dir/misra_gries.cc.o.d"
+  "/root/repo/src/core/query.cc" "src/core/CMakeFiles/cots_core.dir/query.cc.o" "gcc" "src/core/CMakeFiles/cots_core.dir/query.cc.o.d"
+  "/root/repo/src/core/space_saving.cc" "src/core/CMakeFiles/cots_core.dir/space_saving.cc.o" "gcc" "src/core/CMakeFiles/cots_core.dir/space_saving.cc.o.d"
+  "/root/repo/src/core/stream_summary.cc" "src/core/CMakeFiles/cots_core.dir/stream_summary.cc.o" "gcc" "src/core/CMakeFiles/cots_core.dir/stream_summary.cc.o.d"
+  "/root/repo/src/core/summary_merge.cc" "src/core/CMakeFiles/cots_core.dir/summary_merge.cc.o" "gcc" "src/core/CMakeFiles/cots_core.dir/summary_merge.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/stream/CMakeFiles/cots_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cots_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

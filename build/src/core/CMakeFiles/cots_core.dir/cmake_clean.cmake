@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cots_core.dir/accuracy.cc.o"
+  "CMakeFiles/cots_core.dir/accuracy.cc.o.d"
+  "CMakeFiles/cots_core.dir/continuous_monitor.cc.o"
+  "CMakeFiles/cots_core.dir/continuous_monitor.cc.o.d"
+  "CMakeFiles/cots_core.dir/count_min_sketch.cc.o"
+  "CMakeFiles/cots_core.dir/count_min_sketch.cc.o.d"
+  "CMakeFiles/cots_core.dir/count_sketch.cc.o"
+  "CMakeFiles/cots_core.dir/count_sketch.cc.o.d"
+  "CMakeFiles/cots_core.dir/lossy_counting.cc.o"
+  "CMakeFiles/cots_core.dir/lossy_counting.cc.o.d"
+  "CMakeFiles/cots_core.dir/misra_gries.cc.o"
+  "CMakeFiles/cots_core.dir/misra_gries.cc.o.d"
+  "CMakeFiles/cots_core.dir/query.cc.o"
+  "CMakeFiles/cots_core.dir/query.cc.o.d"
+  "CMakeFiles/cots_core.dir/space_saving.cc.o"
+  "CMakeFiles/cots_core.dir/space_saving.cc.o.d"
+  "CMakeFiles/cots_core.dir/stream_summary.cc.o"
+  "CMakeFiles/cots_core.dir/stream_summary.cc.o.d"
+  "CMakeFiles/cots_core.dir/summary_merge.cc.o"
+  "CMakeFiles/cots_core.dir/summary_merge.cc.o.d"
+  "libcots_core.a"
+  "libcots_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cots_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

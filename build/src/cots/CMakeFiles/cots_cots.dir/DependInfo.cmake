@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cots/adaptive_processor.cc" "src/cots/CMakeFiles/cots_cots.dir/adaptive_processor.cc.o" "gcc" "src/cots/CMakeFiles/cots_cots.dir/adaptive_processor.cc.o.d"
+  "/root/repo/src/cots/concurrent_stream_summary.cc" "src/cots/CMakeFiles/cots_cots.dir/concurrent_stream_summary.cc.o" "gcc" "src/cots/CMakeFiles/cots_cots.dir/concurrent_stream_summary.cc.o.d"
+  "/root/repo/src/cots/cots_lossy_counting.cc" "src/cots/CMakeFiles/cots_cots.dir/cots_lossy_counting.cc.o" "gcc" "src/cots/CMakeFiles/cots_cots.dir/cots_lossy_counting.cc.o.d"
+  "/root/repo/src/cots/cots_space_saving.cc" "src/cots/CMakeFiles/cots_cots.dir/cots_space_saving.cc.o" "gcc" "src/cots/CMakeFiles/cots_cots.dir/cots_space_saving.cc.o.d"
+  "/root/repo/src/cots/delegation_hash_table.cc" "src/cots/CMakeFiles/cots_cots.dir/delegation_hash_table.cc.o" "gcc" "src/cots/CMakeFiles/cots_cots.dir/delegation_hash_table.cc.o.d"
+  "/root/repo/src/cots/thread_pool.cc" "src/cots/CMakeFiles/cots_cots.dir/thread_pool.cc.o" "gcc" "src/cots/CMakeFiles/cots_cots.dir/thread_pool.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/cots_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/stream/CMakeFiles/cots_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cots_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cots_cots.dir/adaptive_processor.cc.o"
+  "CMakeFiles/cots_cots.dir/adaptive_processor.cc.o.d"
+  "CMakeFiles/cots_cots.dir/concurrent_stream_summary.cc.o"
+  "CMakeFiles/cots_cots.dir/concurrent_stream_summary.cc.o.d"
+  "CMakeFiles/cots_cots.dir/cots_lossy_counting.cc.o"
+  "CMakeFiles/cots_cots.dir/cots_lossy_counting.cc.o.d"
+  "CMakeFiles/cots_cots.dir/cots_space_saving.cc.o"
+  "CMakeFiles/cots_cots.dir/cots_space_saving.cc.o.d"
+  "CMakeFiles/cots_cots.dir/delegation_hash_table.cc.o"
+  "CMakeFiles/cots_cots.dir/delegation_hash_table.cc.o.d"
+  "CMakeFiles/cots_cots.dir/thread_pool.cc.o"
+  "CMakeFiles/cots_cots.dir/thread_pool.cc.o.d"
+  "libcots_cots.a"
+  "libcots_cots.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cots_cots.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcots_cots.a"
+)

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stream/exact_counter.cc" "src/stream/CMakeFiles/cots_stream.dir/exact_counter.cc.o" "gcc" "src/stream/CMakeFiles/cots_stream.dir/exact_counter.cc.o.d"
+  "/root/repo/src/stream/trace_io.cc" "src/stream/CMakeFiles/cots_stream.dir/trace_io.cc.o" "gcc" "src/stream/CMakeFiles/cots_stream.dir/trace_io.cc.o.d"
+  "/root/repo/src/stream/zipf_generator.cc" "src/stream/CMakeFiles/cots_stream.dir/zipf_generator.cc.o" "gcc" "src/stream/CMakeFiles/cots_stream.dir/zipf_generator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/cots_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cots_stream.dir/exact_counter.cc.o"
+  "CMakeFiles/cots_stream.dir/exact_counter.cc.o.d"
+  "CMakeFiles/cots_stream.dir/trace_io.cc.o"
+  "CMakeFiles/cots_stream.dir/trace_io.cc.o.d"
+  "CMakeFiles/cots_stream.dir/zipf_generator.cc.o"
+  "CMakeFiles/cots_stream.dir/zipf_generator.cc.o.d"
+  "libcots_stream.a"
+  "libcots_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cots_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cots_util.dir/ebr.cc.o"
+  "CMakeFiles/cots_util.dir/ebr.cc.o.d"
+  "CMakeFiles/cots_util.dir/status.cc.o"
+  "CMakeFiles/cots_util.dir/status.cc.o.d"
+  "CMakeFiles/cots_util.dir/thread_utils.cc.o"
+  "CMakeFiles/cots_util.dir/thread_utils.cc.o.d"
+  "libcots_util.a"
+  "libcots_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cots_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

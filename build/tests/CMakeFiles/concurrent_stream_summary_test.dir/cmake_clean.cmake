@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/concurrent_stream_summary_test.dir/concurrent_stream_summary_test.cc.o"
+  "CMakeFiles/concurrent_stream_summary_test.dir/concurrent_stream_summary_test.cc.o.d"
+  "concurrent_stream_summary_test"
+  "concurrent_stream_summary_test.pdb"
+  "concurrent_stream_summary_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/concurrent_stream_summary_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

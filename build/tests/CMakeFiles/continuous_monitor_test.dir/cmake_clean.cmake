@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/continuous_monitor_test.dir/continuous_monitor_test.cc.o"
+  "CMakeFiles/continuous_monitor_test.dir/continuous_monitor_test.cc.o.d"
+  "continuous_monitor_test"
+  "continuous_monitor_test.pdb"
+  "continuous_monitor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/continuous_monitor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

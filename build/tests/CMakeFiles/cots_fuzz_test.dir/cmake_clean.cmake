@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cots_fuzz_test.dir/cots_fuzz_test.cc.o"
+  "CMakeFiles/cots_fuzz_test.dir/cots_fuzz_test.cc.o.d"
+  "cots_fuzz_test"
+  "cots_fuzz_test.pdb"
+  "cots_fuzz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cots_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cots_lossy_counting_test.dir/cots_lossy_counting_test.cc.o"
+  "CMakeFiles/cots_lossy_counting_test.dir/cots_lossy_counting_test.cc.o.d"
+  "cots_lossy_counting_test"
+  "cots_lossy_counting_test.pdb"
+  "cots_lossy_counting_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cots_lossy_counting_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

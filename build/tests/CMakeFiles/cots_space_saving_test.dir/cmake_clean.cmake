@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cots_space_saving_test.dir/cots_space_saving_test.cc.o"
+  "CMakeFiles/cots_space_saving_test.dir/cots_space_saving_test.cc.o.d"
+  "cots_space_saving_test"
+  "cots_space_saving_test.pdb"
+  "cots_space_saving_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cots_space_saving_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

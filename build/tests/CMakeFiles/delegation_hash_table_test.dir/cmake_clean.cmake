@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/delegation_hash_table_test.dir/delegation_hash_table_test.cc.o"
+  "CMakeFiles/delegation_hash_table_test.dir/delegation_hash_table_test.cc.o.d"
+  "delegation_hash_table_test"
+  "delegation_hash_table_test.pdb"
+  "delegation_hash_table_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/delegation_hash_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

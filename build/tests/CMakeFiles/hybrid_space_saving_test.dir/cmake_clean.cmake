@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hybrid_space_saving_test.dir/hybrid_space_saving_test.cc.o"
+  "CMakeFiles/hybrid_space_saving_test.dir/hybrid_space_saving_test.cc.o.d"
+  "hybrid_space_saving_test"
+  "hybrid_space_saving_test.pdb"
+  "hybrid_space_saving_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hybrid_space_saving_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

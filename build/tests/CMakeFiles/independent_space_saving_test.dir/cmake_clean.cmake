@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/independent_space_saving_test.dir/independent_space_saving_test.cc.o"
+  "CMakeFiles/independent_space_saving_test.dir/independent_space_saving_test.cc.o.d"
+  "independent_space_saving_test"
+  "independent_space_saving_test.pdb"
+  "independent_space_saving_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/independent_space_saving_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

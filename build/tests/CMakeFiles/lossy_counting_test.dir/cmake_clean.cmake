@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lossy_counting_test.dir/lossy_counting_test.cc.o"
+  "CMakeFiles/lossy_counting_test.dir/lossy_counting_test.cc.o.d"
+  "lossy_counting_test"
+  "lossy_counting_test.pdb"
+  "lossy_counting_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lossy_counting_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phase_profiler_test.dir/phase_profiler_test.cc.o"
+  "CMakeFiles/phase_profiler_test.dir/phase_profiler_test.cc.o.d"
+  "phase_profiler_test"
+  "phase_profiler_test.pdb"
+  "phase_profiler_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phase_profiler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/request_queue_test.dir/request_queue_test.cc.o"
+  "CMakeFiles/request_queue_test.dir/request_queue_test.cc.o.d"
+  "request_queue_test"
+  "request_queue_test.pdb"
+  "request_queue_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/request_queue_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shared_space_saving_test.dir/shared_space_saving_test.cc.o"
+  "CMakeFiles/shared_space_saving_test.dir/shared_space_saving_test.cc.o.d"
+  "shared_space_saving_test"
+  "shared_space_saving_test.pdb"
+  "shared_space_saving_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shared_space_saving_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/summary_merge_test.dir/summary_merge_test.cc.o"
+  "CMakeFiles/summary_merge_test.dir/summary_merge_test.cc.o.d"
+  "summary_merge_test"
+  "summary_merge_test.pdb"
+  "summary_merge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/summary_merge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/thread_pool_test.cc" "tests/CMakeFiles/thread_pool_test.dir/thread_pool_test.cc.o" "gcc" "tests/CMakeFiles/thread_pool_test.dir/thread_pool_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cots/CMakeFiles/cots_cots.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/cots_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/cots_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/stream/CMakeFiles/cots_stream.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cots_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

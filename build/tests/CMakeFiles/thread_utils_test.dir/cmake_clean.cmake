@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thread_utils_test.dir/thread_utils_test.cc.o"
+  "CMakeFiles/thread_utils_test.dir/thread_utils_test.cc.o.d"
+  "thread_utils_test"
+  "thread_utils_test.pdb"
+  "thread_utils_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thread_utils_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
