@@ -2,15 +2,31 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <functional>
 #include <thread>
 
+#include "util/json_writer.h"
+#include "util/metrics.h"
 #include "util/stopwatch.h"
 #include "util/thread_utils.h"
 
 namespace cots {
 namespace bench {
+
+namespace {
+
+// Safety net for --json: a copy of the parsed config so the report is
+// written at exit even when a bench main returns without calling
+// WriteIfRequested itself.
+BenchConfig g_atexit_config;
+
+void WriteReportAtExit() {
+  BenchReport::Global().WriteIfRequested(g_atexit_config);
+}
+
+}  // namespace
 
 BenchConfig BenchConfig::Parse(int argc, char** argv) {
   BenchConfig config;
@@ -28,20 +44,91 @@ BenchConfig BenchConfig::Parse(int argc, char** argv) {
       config.repeats = static_cast<int>(std::strtol(arg + 10, nullptr, 10));
     } else if (std::strncmp(arg, "--seed=", 7) == 0) {
       config.seed = std::strtoull(arg + 7, nullptr, 10);
+    } else if (std::strncmp(arg, "--json=", 7) == 0) {
+      config.json_path = arg + 7;
     } else {
       std::fprintf(stderr,
                    "unknown argument: %s\n"
                    "usage: [--full] [--n=N] [--alphabet=A] [--capacity=C] "
-                   "[--repeats=R] [--seed=S]\n",
+                   "[--repeats=R] [--seed=S] [--json=FILE]\n",
                    arg);
       std::exit(2);
     }
   }
   if (config.repeats < 1) config.repeats = 1;
+  if (!config.json_path.empty()) {
+    g_atexit_config = config;
+    std::atexit(WriteReportAtExit);
+  }
   return config;
 }
 
+BenchReport& BenchReport::Global() {
+  // Leaked: the atexit safety net runs after function-local statics are
+  // destroyed, so the report must never be destroyed at all.
+  static BenchReport* report = new BenchReport();
+  return *report;
+}
+
+void BenchReport::AddTiming(
+    const std::string& label, double seconds,
+    const std::vector<std::pair<std::string, double>>& extras) {
+  timings_.push_back(TimingRow{label, seconds, extras});
+}
+
+std::string BenchReport::ToJson(const BenchConfig& config) const {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("schema_version").Uint(1);
+  w.Key("bench").String(title_);
+  w.Key("config").BeginObject();
+  w.Key("full").Bool(config.full);
+  w.Key("n").Uint(config.n);
+  w.Key("alphabet").Uint(config.alphabet);
+  w.Key("capacity").Uint(config.capacity);
+  w.Key("repeats").Int(config.repeats);
+  w.Key("seed").Uint(config.seed);
+  w.EndObject();
+  w.Key("machine").BeginObject();
+  w.Key("hardware_threads").Int(HardwareConcurrency());
+  w.Key("topology").String(CpuTopologySummary());
+  w.Key("metrics_enabled").Bool(COTS_METRICS_ENABLED != 0);
+  w.EndObject();
+  w.Key("timings").BeginArray();
+  for (const TimingRow& row : timings_) {
+    w.BeginObject();
+    w.Key("label").String(row.label);
+    w.Key("seconds").Double(row.seconds);
+    for (const auto& [key, value] : row.extras) {
+      w.Key(key).Double(value);
+    }
+    w.EndObject();
+  }
+  w.EndArray();
+  w.Key("metrics");
+  MetricsRegistry::Global().Snapshot().AppendJson(&w);
+  w.EndObject();
+  return w.str();
+}
+
+bool BenchReport::WriteIfRequested(const BenchConfig& config) {
+  if (config.json_path.empty() || written_) return false;
+  const std::string doc = ToJson(config);
+  std::FILE* f = std::fopen(config.json_path.c_str(), "w");
+  if (f == nullptr ||
+      std::fwrite(doc.data(), 1, doc.size(), f) != doc.size() ||
+      std::fputc('\n', f) == EOF || std::fclose(f) != 0) {
+    std::fprintf(stderr, "bench: cannot write --json report to %s\n",
+                 config.json_path.c_str());
+    std::exit(1);
+  }
+  written_ = true;
+  std::printf("\n[json report: %s]\n", config.json_path.c_str());
+  return true;
+}
+
 void PrintHeader(const std::string& title, const BenchConfig& config) {
+  BenchReport::Global().SetTitle(title);
   std::printf("==============================================================\n");
   std::printf("%s\n", title.c_str());
   std::printf("machine: %s | scale: %s | capacity(m): %zu | repeats: %d\n",

@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "baselines/independent_space_saving.h"
@@ -42,8 +43,13 @@ struct BenchConfig {
   /// Timing repeats per configuration (median-of reported).
   int repeats = 1;
   uint64_t seed = 42;
+  /// When non-empty, the run writes a machine-readable report here (see
+  /// BenchReport; the document contract is documented in DESIGN.md).
+  std::string json_path;
 
-  /// Parses --full, --n=, --alphabet=, --capacity=, --repeats=, --seed=.
+  /// Parses --full, --n=, --alphabet=, --capacity=, --repeats=, --seed=,
+  /// --json=. When --json=FILE is given, the report is written at process
+  /// exit even if the bench never touches BenchReport itself.
   static BenchConfig Parse(int argc, char** argv);
 
   uint64_t AlphabetFor(uint64_t stream_len) const {
@@ -54,7 +60,49 @@ struct BenchConfig {
 };
 
 /// Prints the standard header: bench name, machine topology, parameters.
+/// Also names the JSON report after `title`.
 void PrintHeader(const std::string& title, const BenchConfig& config);
+
+// ---- Machine-readable reporting (--json=FILE) ----
+
+/// Accumulates one run's results and serializes them as a single JSON
+/// document with four sections: "config" (the parsed BenchConfig),
+/// "machine" (topology), "timings" (every AddTiming call, in order), and
+/// "metrics" (the MetricsRegistry snapshot at write time). `BENCH_*.json`
+/// trajectories are built from these documents; see DESIGN.md for the key
+/// contract. Mains are single-threaded, and so is this class.
+class BenchReport {
+ public:
+  /// The per-process report every bench main records into.
+  static BenchReport& Global();
+
+  void SetTitle(const std::string& title) { title_ = title; }
+
+  /// Records one timed result. `extras` carries bench-specific numbers
+  /// (threads, speedup, operation counts) straight into the timing row.
+  void AddTiming(const std::string& label, double seconds,
+                 const std::vector<std::pair<std::string, double>>& extras = {});
+
+  /// The full report document (always valid JSON).
+  std::string ToJson(const BenchConfig& config) const;
+
+  /// Writes ToJson to config.json_path. No-op (returns false) when the run
+  /// was started without --json=FILE; exits non-zero on I/O failure so a
+  /// perf pipeline never silently loses a data point. Idempotent: the
+  /// atexit safety net skips files already written.
+  bool WriteIfRequested(const BenchConfig& config);
+
+ private:
+  struct TimingRow {
+    std::string label;
+    double seconds = 0.0;
+    std::vector<std::pair<std::string, double>> extras;
+  };
+
+  std::string title_;
+  std::vector<TimingRow> timings_;
+  bool written_ = false;
+};
 
 /// Zipfian stream with the bench conventions (permuted keys).
 Stream MakeStream(uint64_t n, double alpha, const BenchConfig& config);

@@ -54,6 +54,12 @@ int main(int argc, char** argv) {
         base = seconds;
         stats4 = stats;
       }
+      BenchReport::Global().AddTiming(
+          "cots a=" + std::to_string(alpha) + " t=" + std::to_string(t),
+          seconds,
+          {{"alpha", alpha},
+           {"threads", static_cast<double>(t)},
+           {"speedup_vs_base", base / seconds}});
       row.push_back(FormatRatio(base / seconds));
     }
     row.push_back(FormatRatio(t1 / base));

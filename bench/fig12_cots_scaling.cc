@@ -38,6 +38,13 @@ int main(int argc, char** argv) {
         const double seconds = BestOf(config, [&] {
           return TimeCots(stream, t, config.capacity);
         });
+        BenchReport::Global().AddTiming(
+            "cots a=" + std::to_string(alpha) + " n=" + std::to_string(n) +
+                " t=" + std::to_string(t),
+            seconds,
+            {{"alpha", alpha},
+             {"n", static_cast<double>(n)},
+             {"threads", static_cast<double>(t)}});
         row.push_back(FormatSeconds(seconds));
       }
       PrintRow(row);

@@ -6,6 +6,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+
+#include "common/bench_common.h"
 #include "core/count_min_sketch.h"
 #include "core/count_sketch.h"
 #include "core/space_saving.h"
@@ -179,4 +182,27 @@ BENCHMARK(BM_CountSketchOffer);
 }  // namespace
 }  // namespace cots
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): peel off --json=FILE (google
+// benchmark rejects flags it does not know) and write the shared report —
+// here the metrics section is the payload; timings live in benchmark's own
+// console output.
+int main(int argc, char** argv) {
+  cots::bench::BenchConfig config;
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      config.json_path = argv[i] + 7;
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  argc = kept;
+  cots::bench::BenchReport::Global().SetTitle(
+      "Micro: component benchmarks (google-benchmark)");
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  cots::bench::BenchReport::Global().WriteIfRequested(config);
+  return 0;
+}

@@ -66,6 +66,13 @@ int main(int argc, char** argv) {
     shared_row.push_back(FormatSeconds(shared));
     cots_row.push_back(FormatSeconds(best_cots));
     ratio_row.push_back(FormatRatio(seq / best_cots));
+    BenchReport::Global().AddTiming("sequential a=" + std::to_string(alpha),
+                                    seq, {{"alpha", alpha}});
+    BenchReport::Global().AddTiming("shared a=" + std::to_string(alpha),
+                                    shared, {{"alpha", alpha}});
+    BenchReport::Global().AddTiming(
+        "cots a=" + std::to_string(alpha), best_cots,
+        {{"alpha", alpha}, {"seq_over_cots", seq / best_cots}});
   }
   PrintRow(seq_row);
   PrintRow(shared_row);

@@ -42,10 +42,21 @@ int main(int argc, char** argv) {
     }
     const double rate = static_cast<double>(n) / best;
     peak = std::max(peak, rate);
+    BenchReport::Global().AddTiming(
+        "sequential a=" + std::to_string(alpha), seq,
+        {{"alpha", alpha}, {"rate_eps", static_cast<double>(n) / seq}});
+    BenchReport::Global().AddTiming(
+        "cots a=" + std::to_string(alpha), best,
+        {{"alpha", alpha},
+         {"threads", static_cast<double>(best_t)},
+         {"rate_eps", rate},
+         {"bulk_increments", static_cast<double>(best_bulk)}});
     PrintRow({("a=" + std::to_string(alpha)).substr(0, 5),
               FormatRate(static_cast<double>(n) / seq), FormatRate(rate),
               std::to_string(best_t), std::to_string(best_bulk)});
   }
+  BenchReport::Global().AddTiming("peak", static_cast<double>(n) / peak,
+                                  {{"rate_eps", peak}});
   std::printf("\nPeak observed: %s (paper reports > 60M/s on a 2008-era "
               "quad core at high skew)\n",
               FormatRate(peak).c_str());

@@ -6,6 +6,8 @@
 #include <cmath>
 #include <thread>
 
+#include "util/metrics.h"
+
 namespace cots {
 
 Status SharedSpaceSavingOptions::Validate() {
@@ -54,6 +56,9 @@ SharedSpaceSaving<Mutex>::AcquireElement(ElementId e, int thread_id,
   std::unique_lock<Mutex> lock(shard.mu);
   Entry& entry = shard.map[e];  // creates a placeholder for new elements
   if (entry.busy) {
+    // Element-level contention: another thread is mid-operation on e and
+    // this one blocks — the cost the delegation model exists to avoid.
+    COTS_COUNTER_INC("shared.element_contention_waits");
     ++entry.waiters;
     if constexpr (std::is_same_v<Mutex, std::mutex>) {
       // pthread-mutex flavour: block on the shard condition variable.
@@ -221,6 +226,7 @@ void SharedSpaceSaving<Mutex>::Offer(ElementId e, int thread_id,
       }
       // Every candidate in the minimum bucket is mid-flight; release the
       // topology so their owners can finish, then retry.
+      COTS_COUNTER_INC("shared.victim_scan_exhausted");
       topo.unlock();
       std::this_thread::yield();
     }

@@ -48,18 +48,24 @@ AccuracyReport EvaluateAccuracy(const FrequencySummary& summary,
                                  static_cast<double>(reported_set.size());
   }
 
-  // Average relative error over the true top-k.
+  // Average relative error over the true top-k. Elements with a true count
+  // of zero (zero-weight offers, or a top-k wider than the observed
+  // alphabet) have no defined relative error — averaging over them would
+  // inject NaN into the report, so they are excluded from the denominator.
   std::vector<ElementId> top = exact.TopK(options.top_k);
-  if (!top.empty()) {
-    double sum = 0.0;
-    for (ElementId e : top) {
-      const uint64_t truth = exact.Count(e);
-      std::optional<Counter> c = summary.Lookup(e);
-      const uint64_t est = c.has_value() ? c->count : 0;
-      const uint64_t diff = est > truth ? est - truth : truth - est;
-      sum += static_cast<double>(diff) / static_cast<double>(truth);
-    }
-    report.avg_relative_error = sum / static_cast<double>(top.size());
+  double sum = 0.0;
+  size_t measured = 0;
+  for (ElementId e : top) {
+    const uint64_t truth = exact.Count(e);
+    if (truth == 0) continue;
+    std::optional<Counter> c = summary.Lookup(e);
+    const uint64_t est = c.has_value() ? c->count : 0;
+    const uint64_t diff = est > truth ? est - truth : truth - est;
+    sum += static_cast<double>(diff) / static_cast<double>(truth);
+    ++measured;
+  }
+  if (measured > 0) {
+    report.avg_relative_error = sum / static_cast<double>(measured);
   }
   return report;
 }

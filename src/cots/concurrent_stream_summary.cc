@@ -7,6 +7,7 @@
 #include <cstdlib>
 #include <thread>
 
+#include "util/metrics.h"
 #include "util/spinlock.h"
 
 namespace cots {
@@ -327,6 +328,7 @@ bool ConcurrentStreamSummary::ProcessRequest(FreqBucket* bucket,
       FreqBucket* min = FirstLiveBucket();
       if (min != nullptr && min != bucket && min->freq < bucket->freq &&
           request.reroutes < kMaxReroutes) {
+        COTS_COUNTER_INC("summary.overwrite_reroutes");
         Request rerouted = request;
         rerouted.reroutes = static_cast<uint8_t>(request.reroutes + 1);
         Dispatch(rerouted, ctx);
@@ -346,6 +348,7 @@ bool ConcurrentStreamSummary::ProcessRequest(FreqBucket* bucket,
           }
           // Victim secured: recycle its node for the arriving element
           // (Algorithm 6). The victim's count becomes the newcomer's error.
+          COTS_HISTOGRAM_RECORD("summary.overwrite_hops", request.reroutes);
           DetachNode(bucket, victim);
           auto* entry = static_cast<DelegationHashTable::Entry*>(request.entry);
           victim->key = request.key;
@@ -407,7 +410,12 @@ void ConcurrentStreamSummary::TryProcessBucket(FreqBucket* bucket,
     bool retried_parked = false;
     for (;;) {
       ctx->batch.clear();
-      bucket->queue.DrainTo(&ctx->batch);
+      const size_t drained = bucket->queue.DrainTo(&ctx->batch);
+      // Batch sizes are the combining win: every request beyond the first
+      // was applied without its sender ever touching the structure.
+      if (drained > 0) {
+        COTS_HISTOGRAM_RECORD("summary.drain_batch", drained);
+      }
       // Parked overwrites are retried once per hold and whenever new
       // requests arrive (an arriving increment is exactly the event that
       // can free a victim).

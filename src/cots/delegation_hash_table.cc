@@ -3,6 +3,8 @@
 #include <cassert>
 #include <new>
 
+#include "util/metrics.h"
+
 namespace cots {
 
 Status DelegationHashTableOptions::Validate() const {
@@ -129,6 +131,7 @@ DelegationHashTable::DelegateResult DelegationHashTable::Delegate(
       if (claimed_fresh) {
         // Our occurrence is already logged (state == 1) and we own the
         // brand-new element: cross the boundary with an Add/Overwrite.
+        COTS_COUNTER_INC("delegation.fresh_inserts");
         return DelegateResult{entry, true, true};
       }
     }
@@ -139,7 +142,15 @@ DelegationHashTable::DelegateResult DelegationHashTable::Delegate(
       // state outright. Retry the lookup; the element is (re-)inserted as
       // new. (FREE here is impossible inside an epoch guard — recycling
       // needs a grace period — but retrying is the safe response anyway.)
+      COTS_COUNTER_INC("delegation.dead_entry_retries");
       continue;
+    }
+    // The ownership/log split is the delegation hit rate: logged
+    // occurrences ride for free on the owner's bulk increment.
+    if (old == 0) {
+      COTS_COUNTER_INC("delegation.ownership_acquired");
+    } else {
+      COTS_COUNTER_INC("delegation.requests_logged");
     }
     return DelegateResult{entry, old == 0, false};
   }
@@ -149,12 +160,14 @@ uint64_t DelegationHashTable::Relinquish(Entry* entry, uint64_t token) {
   uint64_t expected = token;
   if (entry->state.compare_exchange_strong(expected, 0,
                                            std::memory_order_acq_rel)) {
+    COTS_COUNTER_INC("delegation.relinquish_clean");
     return 0;
   }
   // Requests were logged while we processed; reclaim them all and stay the
   // owner (token now 1) with the batch as one bulk increment.
   const uint64_t old = entry->state.exchange(1, std::memory_order_acq_rel);
   assert(old > token && !(old & (Entry::kDead | Entry::kFree)));
+  COTS_HISTOGRAM_RECORD("delegation.relinquish_carryback", old - token);
   return old - token;
 }
 

@@ -19,6 +19,7 @@
 #define COTS_COTS_REQUEST_H_
 
 #include <cstdint>
+#include <iterator>
 #include <vector>
 
 #include "stream/stream.h"
@@ -90,8 +91,13 @@ class RequestQueue {
   size_t DrainTo(std::vector<Request>* out) {
     std::lock_guard<SpinLock> guard(mu_);
     const size_t n = items_.size();
-    out->insert(out->end(), items_.begin(), items_.end());
-    items_.clear();
+    if (n == 0) return 0;
+    // One reserve, then move: enqueuers spin on mu_ for the whole drain,
+    // so the holder must not grow `out` element-by-element under the lock.
+    out->reserve(out->size() + n);
+    out->insert(out->end(), std::make_move_iterator(items_.begin()),
+                std::make_move_iterator(items_.end()));
+    items_.clear();  // keeps capacity: the next enqueue must not allocate
     return n;
   }
 
@@ -114,7 +120,12 @@ class RequestQueue {
     return items_.size();
   }
 
-  bool empty() const { return size() == 0; }
+  /// Fast-path emptiness probe (post-release recheck, sweep scans): one
+  /// locked empty() read, not a size() round-trip.
+  bool empty() const {
+    std::lock_guard<SpinLock> guard(mu_);
+    return items_.empty();
+  }
 
  private:
   mutable SpinLock mu_;

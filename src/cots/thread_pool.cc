@@ -1,5 +1,7 @@
 #include "cots/thread_pool.h"
 
+#include "util/metrics.h"
+
 namespace cots {
 
 ThreadPool::ThreadPool(int num_threads) {
@@ -35,8 +37,11 @@ int ThreadPool::Park(int count) {
   int asked;
   {
     std::lock_guard<std::mutex> lock(mu_);
+    // A sleeper already credited to wake (unpark_credits_) is on its way
+    // back to work and parks again only through a fresh request — counting
+    // it as parked here would make Park under-grant right after an Unpark.
     const int parkable =
-        num_threads() - parked_ - park_requests_;
+        num_threads() - (parked_ - unpark_credits_) - park_requests_;
     asked = count < parkable ? count : parkable;
     if (asked < 0) asked = 0;
     park_requests_ += asked;
@@ -81,11 +86,13 @@ void ThreadPool::WorkerLoop(int index) {
     if (park_requests_ > 0) {
       --park_requests_;
       ++parked_;
+      COTS_COUNTER_INC("thread_pool.parks");
       work_cv_.wait(lock,
                     [this] { return shutdown_ || unpark_credits_ > 0; });
       if (shutdown_) return;
       --unpark_credits_;
       --parked_;
+      COTS_COUNTER_INC("thread_pool.unparks");
       continue;
     }
     if (!tasks_.empty()) {

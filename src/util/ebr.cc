@@ -1,5 +1,7 @@
 #include "util/ebr.h"
 
+#include "util/metrics.h"
+
 namespace cots {
 
 void EpochParticipant::Enter() {
@@ -17,7 +19,10 @@ void EpochParticipant::Enter() {
   }
   if (e != last_seen_global_) {
     // The epoch moved since we last looked: garbage retired two or more
-    // epochs ago is now unreachable by any reader.
+    // epochs ago is now unreachable by any reader. The lag (how many
+    // advances we slept through) bounds how stale this thread's garbage
+    // got — a heavy tail here means some participant pins too rarely.
+    COTS_HISTOGRAM_RECORD("ebr.epoch_lag", e - last_seen_global_);
     if (e >= 2) FreeBucketsUpTo(e - 2);
     last_seen_global_ = e;
   }
@@ -44,6 +49,9 @@ void EpochParticipant::RetireRaw(void* ptr, void (*deleter)(void*)) {
     bucket.epoch = e;
   }
   bucket.nodes.push_back(GarbageNode{ptr, deleter});
+  // Backlog per epoch slot: growth here means epochs advance too slowly
+  // for the churn rate and memory is pooling behind the grace period.
+  COTS_HISTOGRAM_RECORD("ebr.retire_backlog", bucket.nodes.size());
   if (++retires_since_advance_ >= kAdvanceEveryRetires) {
     retires_since_advance_ = 0;
     manager_->TryAdvance();
@@ -104,13 +112,17 @@ bool EpochManager::TryAdvance() {
   for (const EpochParticipant& slot : slots_) {
     if (!slot.claimed_.load(std::memory_order_acquire)) continue;
     const uint64_t local = slot.epoch_.load(std::memory_order_seq_cst);
-    if (local != EpochParticipant::kInactive && local != e) return false;
+    if (local != EpochParticipant::kInactive && local != e) {
+      COTS_COUNTER_INC("ebr.advance_blocked_by_laggard");
+      return false;
+    }
   }
   uint64_t expected = e;
   if (!global_epoch_.compare_exchange_strong(expected, e + 1,
                                              std::memory_order_seq_cst)) {
     return false;
   }
+  COTS_COUNTER_INC("ebr.epoch_advances");
   if (e + 1 >= 2) FreeOrphansUpTo(e + 1 - 2);
   return true;
 }

@@ -1,0 +1,133 @@
+// Copyright (c) the CoTS reproduction authors.
+//
+// A minimal streaming JSON writer — just enough for the bench reports and
+// metrics snapshots (objects, arrays, strings, integers, doubles). Commas
+// and nesting are tracked by the writer so call sites read like the
+// document they produce. No dependencies, no DOM, no parsing.
+
+#ifndef COTS_UTIL_JSON_WRITER_H_
+#define COTS_UTIL_JSON_WRITER_H_
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cots {
+
+class JsonWriter {
+ public:
+  JsonWriter() { out_.reserve(256); }
+
+  JsonWriter& BeginObject() { return Open('{'); }
+  JsonWriter& EndObject() { return Close('}'); }
+  JsonWriter& BeginArray() { return Open('['); }
+  JsonWriter& EndArray() { return Close(']'); }
+
+  /// Writes an object key; the next value call supplies its value.
+  JsonWriter& Key(std::string_view k) {
+    Separate();
+    Quote(k);
+    out_.push_back(':');
+    pending_value_ = true;
+    return *this;
+  }
+
+  JsonWriter& String(std::string_view v) {
+    Separate();
+    Quote(v);
+    return *this;
+  }
+
+  JsonWriter& Uint(uint64_t v) {
+    Separate();
+    out_ += std::to_string(v);
+    return *this;
+  }
+
+  JsonWriter& Int(int64_t v) {
+    Separate();
+    out_ += std::to_string(v);
+    return *this;
+  }
+
+  JsonWriter& Double(double v) {
+    Separate();
+    if (!std::isfinite(v)) {
+      out_ += "null";  // JSON has no NaN/Inf
+      return *this;
+    }
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    out_ += buf;
+    return *this;
+  }
+
+  JsonWriter& Bool(bool v) {
+    Separate();
+    out_ += v ? "true" : "false";
+    return *this;
+  }
+
+  /// The document so far. Valid JSON once every container is closed.
+  const std::string& str() const { return out_; }
+
+ private:
+  JsonWriter& Open(char c) {
+    Separate();
+    out_.push_back(c);
+    comma_stack_.push_back(false);
+    return *this;
+  }
+
+  JsonWriter& Close(char c) {
+    comma_stack_.pop_back();
+    out_.push_back(c);
+    return *this;
+  }
+
+  // Emits the comma before a sibling value; a value following a Key() never
+  // takes one (the key already placed it).
+  void Separate() {
+    if (pending_value_) {
+      pending_value_ = false;
+      return;
+    }
+    if (!comma_stack_.empty()) {
+      if (comma_stack_.back()) out_.push_back(',');
+      comma_stack_.back() = true;
+    }
+  }
+
+  void Quote(std::string_view s) {
+    out_.push_back('"');
+    for (char c : s) {
+      switch (c) {
+        case '"': out_ += "\\\""; break;
+        case '\\': out_ += "\\\\"; break;
+        case '\n': out_ += "\\n"; break;
+        case '\r': out_ += "\\r"; break;
+        case '\t': out_ += "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            out_ += buf;
+          } else {
+            out_.push_back(c);
+          }
+      }
+    }
+    out_.push_back('"');
+  }
+
+  std::string out_;
+  std::vector<bool> comma_stack_;
+  bool pending_value_ = false;
+};
+
+}  // namespace cots
+
+#endif  // COTS_UTIL_JSON_WRITER_H_

@@ -1,0 +1,193 @@
+#include "util/metrics.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/json_writer.h"
+
+namespace cots {
+
+namespace {
+
+/// Registry ids are process-unique and never reused, so a thread-local
+/// cache entry for a destroyed registry can never be mistaken for a live
+/// one (a fresh registry at the same address gets a fresh id).
+std::atomic<uint64_t> next_registry_id{1};
+
+}  // namespace
+
+/// Per-thread cache of (registry id -> shard). Almost always one entry, so
+/// the lookup in LocalShard is a single compare. Entries for destroyed
+/// registries are dead weight (a pointer pair) until the thread exits; the
+/// shards themselves are owned — and freed — by their registry.
+struct MetricsTlsCache {
+  struct Entry {
+    uint64_t registry_id;
+    MetricsRegistry::Shard* shard;
+  };
+  std::vector<Entry> entries;
+};
+
+namespace {
+
+MetricsTlsCache& TlsCache() {
+  thread_local MetricsTlsCache cache;
+  return cache;
+}
+
+}  // namespace
+
+MetricsRegistry::MetricsRegistry()
+    : registry_id_(next_registry_id.fetch_add(1, std::memory_order_relaxed)) {}
+
+MetricsRegistry::~MetricsRegistry() = default;
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* global = new MetricsRegistry();  // never destroyed
+  return *global;
+}
+
+MetricsRegistry::Shard* MetricsRegistry::LocalShard() {
+  MetricsTlsCache& cache = TlsCache();
+  for (const MetricsTlsCache::Entry& e : cache.entries) {
+    if (e.registry_id == registry_id_) return e.shard;
+  }
+  auto owned = std::make_unique<Shard>();
+  Shard* shard = owned.get();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shards_.push_back(std::move(owned));
+  }
+  cache.entries.push_back(MetricsTlsCache::Entry{registry_id_, shard});
+  return shard;
+}
+
+uint32_t MetricsRegistry::AllocateSlots(std::string_view name,
+                                        bool is_histogram, uint32_t width) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const Info& info : infos_) {
+    if (info.name == name) {
+      // Same-kind re-registration returns the existing metric; a kind
+      // clash silently records into the sink (slot 0) rather than
+      // corrupting the other metric's slots.
+      return info.is_histogram == is_histogram ? info.slot : 0;
+    }
+  }
+  if (next_slot_ + width > kMaxSlots) {
+    assert(false && "metric slot space exhausted; raise kMaxSlots");
+    return 0;
+  }
+  const uint32_t slot = next_slot_;
+  next_slot_ += width;
+  infos_.push_back(Info{std::string(name), is_histogram, slot});
+  return slot;
+}
+
+CounterId MetricsRegistry::RegisterCounter(std::string_view name) {
+  return CounterId{AllocateSlots(name, /*is_histogram=*/false, 1)};
+}
+
+HistogramId MetricsRegistry::RegisterHistogram(std::string_view name) {
+  return HistogramId{
+      AllocateSlots(name, /*is_histogram=*/true, kHistogramSlots)};
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snapshot;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto sum_slot = [this](uint32_t slot) {
+    uint64_t total = 0;
+    for (const auto& shard : shards_) {
+      total += shard->slots[slot].load(std::memory_order_relaxed);
+    }
+    return total;
+  };
+  for (const Info& info : infos_) {
+    if (info.slot == 0) continue;  // sink-mapped registration
+    if (!info.is_histogram) {
+      snapshot.counters.emplace_back(info.name, sum_slot(info.slot));
+      continue;
+    }
+    HistogramSnapshot h;
+    h.name = info.name;
+    h.count = sum_slot(info.slot);
+    h.sum = sum_slot(info.slot + 1);
+    for (int b = 0; b < kHistogramBuckets; ++b) {
+      h.buckets[static_cast<size_t>(b)] =
+          sum_slot(info.slot + 2 + static_cast<uint32_t>(b));
+    }
+    snapshot.histograms.push_back(std::move(h));
+  }
+  std::sort(snapshot.counters.begin(), snapshot.counters.end());
+  std::sort(snapshot.histograms.begin(), snapshot.histograms.end(),
+            [](const HistogramSnapshot& a, const HistogramSnapshot& b) {
+              return a.name < b.name;
+            });
+  return snapshot;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& shard : shards_) {
+    for (auto& slot : shard->slots) {
+      slot.store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+size_t MetricsRegistry::num_shards() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return shards_.size();
+}
+
+uint64_t MetricsSnapshot::CounterValue(std::string_view name) const {
+  for (const auto& [n, v] : counters) {
+    if (n == name) return v;
+  }
+  return 0;
+}
+
+const HistogramSnapshot* MetricsSnapshot::Histogram(
+    std::string_view name) const {
+  for (const HistogramSnapshot& h : histograms) {
+    if (h.name == name) return &h;
+  }
+  return nullptr;
+}
+
+void MetricsSnapshot::AppendJson(JsonWriter* w) const {
+  w->BeginObject();
+  w->Key("counters").BeginObject();
+  for (const auto& [name, value] : counters) {
+    w->Key(name).Uint(value);
+  }
+  w->EndObject();
+  w->Key("histograms").BeginObject();
+  for (const HistogramSnapshot& h : histograms) {
+    w->Key(h.name).BeginObject();
+    w->Key("count").Uint(h.count);
+    w->Key("sum").Uint(h.sum);
+    w->Key("mean").Double(h.Mean());
+    w->Key("buckets").BeginArray();
+    for (int b = 0; b < kHistogramBuckets; ++b) {
+      const uint64_t n = h.buckets[static_cast<size_t>(b)];
+      if (n == 0) continue;
+      w->BeginArray()
+          .Uint(MetricsRegistry::BucketLowerBound(b))
+          .Uint(n)
+          .EndArray();
+    }
+    w->EndArray();
+    w->EndObject();
+  }
+  w->EndObject();
+  w->EndObject();
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  JsonWriter w;
+  AppendJson(&w);
+  return w.str();
+}
+
+}  // namespace cots

@@ -1,5 +1,7 @@
 #include "core/accuracy.h"
 
+#include <cmath>
+
 #include <gtest/gtest.h>
 
 #include "core/misra_gries.h"
@@ -28,6 +30,56 @@ TEST(AccuracyTest, PerfectSummaryScoresPerfect) {
   EXPECT_EQ(report.underestimates, 0u);
   EXPECT_EQ(report.bound_violations, 0u);
   EXPECT_EQ(report.monitored, 3u);
+}
+
+TEST(AccuracyTest, EmptyStreamProducesFiniteReport) {
+  SpaceSavingOptions opt;
+  opt.capacity = 16;
+  ASSERT_TRUE(opt.Validate().ok());
+  SpaceSaving ss(opt);
+  ExactCounter exact;  // nothing observed
+  AccuracyReport report = EvaluateAccuracy(ss, exact, AccuracyOptions{});
+  EXPECT_EQ(report.monitored, 0u);
+  EXPECT_EQ(report.precision, 1.0);
+  EXPECT_EQ(report.recall, 1.0);
+  EXPECT_FALSE(std::isnan(report.avg_relative_error));
+  EXPECT_EQ(report.avg_relative_error, 0.0);
+}
+
+// top_k far beyond the observed alphabet: the error average must cover
+// only elements that actually occurred.
+TEST(AccuracyTest, TopKBeyondAlphabetStaysFinite) {
+  SpaceSavingOptions opt;
+  opt.capacity = 16;
+  ASSERT_TRUE(opt.Validate().ok());
+  SpaceSaving ss(opt);
+  Stream s = {1, 1, 2};
+  ss.Process(s);
+  ExactCounter exact(s);
+  AccuracyOptions aopt;
+  aopt.top_k = 100;  // only 2 distinct elements exist
+  AccuracyReport report = EvaluateAccuracy(ss, exact, aopt);
+  EXPECT_FALSE(std::isnan(report.avg_relative_error));
+  EXPECT_EQ(report.avg_relative_error, 0.0);
+  EXPECT_EQ(report.recall, 1.0);
+}
+
+// Regression: a ground-truth entry with count 0 (zero-weight offer) used to
+// divide by zero in the relative-error loop and poison the average as NaN.
+TEST(AccuracyTest, ZeroCountTruthElementIsExcludedFromError) {
+  SpaceSavingOptions opt;
+  opt.capacity = 16;
+  ASSERT_TRUE(opt.Validate().ok());
+  SpaceSaving ss(opt);
+  Stream s = {1, 1, 2};
+  ss.Process(s);
+  ExactCounter exact(s);
+  exact.Offer(99, 0);  // observed-with-weight-zero: truth == 0
+  AccuracyOptions aopt;
+  aopt.top_k = 10;  // wide enough to sweep in the zero-count element
+  AccuracyReport report = EvaluateAccuracy(ss, exact, aopt);
+  EXPECT_FALSE(std::isnan(report.avg_relative_error));
+  EXPECT_EQ(report.avg_relative_error, 0.0);
 }
 
 TEST(AccuracyTest, SpaceSavingNeverViolatesBounds) {

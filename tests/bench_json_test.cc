@@ -1,0 +1,296 @@
+// Validates the --json=FILE bench report contract (see DESIGN.md): the
+// document parses as JSON and carries the documented sections and keys.
+// The parser below is a deliberately minimal recursive-descent JSON reader
+// — strict enough to reject the usual serializer bugs (trailing commas,
+// unescaped strings, bare NaN).
+
+#include "common/bench_common.h"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/metrics.h"
+
+namespace cots {
+namespace {
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  const JsonValue* Get(const std::string& key) const {
+    auto it = object.find(key);
+    return it == object.end() ? nullptr : &it->second;
+  }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  bool Parse(JsonValue* out) {
+    pos_ = 0;
+    if (!ParseValue(out)) return false;
+    SkipSpace();
+    return pos_ == text_.size();  // no trailing garbage
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    SkipSpace();
+    if (pos_ >= text_.size() || text_[pos_] != c) return false;
+    ++pos_;
+    return true;
+  }
+
+  bool ParseLiteral(const std::string& lit) {
+    if (text_.compare(pos_, lit.size(), lit) != 0) return false;
+    pos_ += lit.size();
+    return true;
+  }
+
+  bool ParseString(std::string* out) {
+    if (!Consume('"')) return false;
+    out->clear();
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return false;
+        char e = text_[pos_++];
+        switch (e) {
+          case '"': out->push_back('"'); break;
+          case '\\': out->push_back('\\'); break;
+          case '/': out->push_back('/'); break;
+          case 'b': out->push_back('\b'); break;
+          case 'f': out->push_back('\f'); break;
+          case 'n': out->push_back('\n'); break;
+          case 'r': out->push_back('\r'); break;
+          case 't': out->push_back('\t'); break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) return false;
+            pos_ += 4;  // decoded value not needed for validation
+            out->push_back('?');
+            break;
+          }
+          default: return false;
+        }
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        return false;  // control characters must be escaped
+      } else {
+        out->push_back(c);
+      }
+    }
+    return false;
+  }
+
+  bool ParseNumber(JsonValue* out) {
+    const size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return false;
+    try {
+      out->number = std::stod(text_.substr(start, pos_ - start));
+    } catch (...) {
+      return false;
+    }
+    out->kind = JsonValue::Kind::kNumber;
+    return true;
+  }
+
+  bool ParseValue(JsonValue* out) {
+    SkipSpace();
+    if (pos_ >= text_.size()) return false;
+    const char c = text_[pos_];
+    if (c == '{') {
+      ++pos_;
+      out->kind = JsonValue::Kind::kObject;
+      SkipSpace();
+      if (Consume('}')) return true;
+      for (;;) {
+        std::string key;
+        if (!ParseString(&key)) return false;
+        if (!Consume(':')) return false;
+        JsonValue value;
+        if (!ParseValue(&value)) return false;
+        out->object.emplace(std::move(key), std::move(value));
+        if (Consume('}')) return true;
+        if (!Consume(',')) return false;
+      }
+    }
+    if (c == '[') {
+      ++pos_;
+      out->kind = JsonValue::Kind::kArray;
+      SkipSpace();
+      if (Consume(']')) return true;
+      for (;;) {
+        JsonValue value;
+        if (!ParseValue(&value)) return false;
+        out->array.push_back(std::move(value));
+        if (Consume(']')) return true;
+        if (!Consume(',')) return false;
+      }
+    }
+    if (c == '"') {
+      out->kind = JsonValue::Kind::kString;
+      return ParseString(&out->string);
+    }
+    if (c == 't') {
+      out->kind = JsonValue::Kind::kBool;
+      out->boolean = true;
+      return ParseLiteral("true");
+    }
+    if (c == 'f') {
+      out->kind = JsonValue::Kind::kBool;
+      out->boolean = false;
+      return ParseLiteral("false");
+    }
+    if (c == 'n') {
+      out->kind = JsonValue::Kind::kNull;
+      return ParseLiteral("null");
+    }
+    return ParseNumber(out);
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+bench::BenchConfig MakeConfig() {
+  bench::BenchConfig config;
+  config.full = false;
+  config.n = 1000;
+  config.alphabet = 64;
+  config.capacity = 50;
+  config.repeats = 2;
+  config.seed = 7;
+  return config;
+}
+
+TEST(BenchJsonTest, ReportParsesWithDocumentedKeys) {
+  bench::BenchReport report;
+  report.SetTitle("unit \"test\" bench\n");  // exercises string escaping
+  report.AddTiming("phase one", 0.125, {{"threads", 4.0}, {"rate_eps", 8e6}});
+  report.AddTiming("phase two", 1.5);
+#if COTS_METRICS_ENABLED
+  COTS_COUNTER_INC("test.bench_json_counter");
+  COTS_HISTOGRAM_RECORD("test.bench_json_hist", uint64_t{33});
+#endif
+  const std::string doc = report.ToJson(MakeConfig());
+
+  JsonValue root;
+  ASSERT_TRUE(JsonParser(doc).Parse(&root)) << doc;
+  ASSERT_EQ(root.kind, JsonValue::Kind::kObject);
+
+  const JsonValue* schema = root.Get("schema_version");
+  ASSERT_NE(schema, nullptr);
+  EXPECT_EQ(schema->number, 1.0);
+
+  const JsonValue* bench_name = root.Get("bench");
+  ASSERT_NE(bench_name, nullptr);
+  EXPECT_EQ(bench_name->string, "unit \"test\" bench\n");
+
+  const JsonValue* config = root.Get("config");
+  ASSERT_NE(config, nullptr);
+  for (const char* key :
+       {"full", "n", "alphabet", "capacity", "repeats", "seed"}) {
+    EXPECT_NE(config->Get(key), nullptr) << key;
+  }
+  EXPECT_EQ(config->Get("n")->number, 1000.0);
+  EXPECT_EQ(config->Get("seed")->number, 7.0);
+  EXPECT_EQ(config->Get("full")->kind, JsonValue::Kind::kBool);
+
+  const JsonValue* machine = root.Get("machine");
+  ASSERT_NE(machine, nullptr);
+  EXPECT_GE(machine->Get("hardware_threads")->number, 1.0);
+  EXPECT_EQ(machine->Get("topology")->kind, JsonValue::Kind::kString);
+  EXPECT_EQ(machine->Get("metrics_enabled")->kind, JsonValue::Kind::kBool);
+
+  const JsonValue* timings = root.Get("timings");
+  ASSERT_NE(timings, nullptr);
+  ASSERT_EQ(timings->kind, JsonValue::Kind::kArray);
+  ASSERT_EQ(timings->array.size(), 2u);
+  EXPECT_EQ(timings->array[0].Get("label")->string, "phase one");
+  EXPECT_EQ(timings->array[0].Get("seconds")->number, 0.125);
+  EXPECT_EQ(timings->array[0].Get("threads")->number, 4.0);
+  EXPECT_EQ(timings->array[1].Get("label")->string, "phase two");
+
+  const JsonValue* metrics = root.Get("metrics");
+  ASSERT_NE(metrics, nullptr);
+  ASSERT_EQ(metrics->kind, JsonValue::Kind::kObject);
+  const JsonValue* counters = metrics->Get("counters");
+  const JsonValue* histograms = metrics->Get("histograms");
+  ASSERT_NE(counters, nullptr);
+  ASSERT_NE(histograms, nullptr);
+#if COTS_METRICS_ENABLED
+  EXPECT_NE(counters->Get("test.bench_json_counter"), nullptr);
+  const JsonValue* hist = histograms->Get("test.bench_json_hist");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_GE(hist->Get("count")->number, 1.0);
+  EXPECT_GE(hist->Get("sum")->number, 33.0);
+  const JsonValue* buckets = hist->Get("buckets");
+  ASSERT_NE(buckets, nullptr);
+  ASSERT_EQ(buckets->kind, JsonValue::Kind::kArray);
+  // Sparse [lower_bound, count] pairs; 33 lands in the bucket at 32.
+  bool found = false;
+  for (const JsonValue& pair : buckets->array) {
+    ASSERT_EQ(pair.array.size(), 2u);
+    if (pair.array[0].number == 32.0) found = true;
+  }
+  EXPECT_TRUE(found);
+#endif
+}
+
+TEST(BenchJsonTest, WriteIfRequestedWritesFileOnce) {
+  bench::BenchConfig config = MakeConfig();
+  config.json_path = ::testing::TempDir() + "/bench_json_test_report.json";
+  bench::BenchReport report;
+  report.SetTitle("write test");
+  report.AddTiming("only", 2.0);
+  EXPECT_TRUE(report.WriteIfRequested(config));
+  EXPECT_FALSE(report.WriteIfRequested(config));  // idempotent
+
+  std::ifstream in(config.json_path);
+  ASSERT_TRUE(in.good());
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  JsonValue root;
+  EXPECT_TRUE(JsonParser(buffer.str()).Parse(&root));
+  EXPECT_EQ(root.Get("bench")->string, "write test");
+  std::remove(config.json_path.c_str());
+}
+
+TEST(BenchJsonTest, NoJsonPathIsANoOp) {
+  bench::BenchConfig config = MakeConfig();
+  bench::BenchReport report;
+  EXPECT_FALSE(report.WriteIfRequested(config));
+}
+
+}  // namespace
+}  // namespace cots

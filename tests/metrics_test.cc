@@ -1,0 +1,170 @@
+#include "util/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace cots {
+namespace {
+
+TEST(MetricsRegistryTest, CounterAccumulatesAndSnapshots) {
+  MetricsRegistry registry;
+  CounterId id = registry.RegisterCounter("test.counter");
+  registry.Add(id, 1);
+  registry.Add(id, 41);
+  MetricsSnapshot snap = registry.Snapshot();
+  EXPECT_EQ(snap.CounterValue("test.counter"), 42u);
+  EXPECT_EQ(snap.CounterValue("never.registered"), 0u);
+}
+
+TEST(MetricsRegistryTest, RegistrationIsIdempotentPerName) {
+  MetricsRegistry registry;
+  CounterId a = registry.RegisterCounter("test.counter");
+  CounterId b = registry.RegisterCounter("test.counter");
+  EXPECT_EQ(a.slot, b.slot);
+  registry.Add(a, 1);
+  registry.Add(b, 1);
+  EXPECT_EQ(registry.Snapshot().CounterValue("test.counter"), 2u);
+  // Only one entry reports despite two registrations.
+  EXPECT_EQ(registry.Snapshot().counters.size(), 1u);
+}
+
+TEST(MetricsRegistryTest, BucketIndexBoundaries) {
+  EXPECT_EQ(MetricsRegistry::BucketIndex(0), 0);
+  EXPECT_EQ(MetricsRegistry::BucketIndex(1), 1);
+  EXPECT_EQ(MetricsRegistry::BucketIndex(2), 2);
+  EXPECT_EQ(MetricsRegistry::BucketIndex(3), 2);
+  EXPECT_EQ(MetricsRegistry::BucketIndex(4), 3);
+  EXPECT_EQ(MetricsRegistry::BucketIndex(7), 3);
+  EXPECT_EQ(MetricsRegistry::BucketIndex(8), 4);
+  EXPECT_EQ(MetricsRegistry::BucketIndex(std::numeric_limits<uint64_t>::max()),
+            kHistogramBuckets - 1);
+  // Every bucket's lower bound maps back to that bucket, and the value one
+  // below it maps to the previous bucket.
+  for (int b = 0; b < kHistogramBuckets; ++b) {
+    const uint64_t lo = MetricsRegistry::BucketLowerBound(b);
+    EXPECT_EQ(MetricsRegistry::BucketIndex(lo), b) << "bucket " << b;
+    if (b >= 2) {
+      EXPECT_EQ(MetricsRegistry::BucketIndex(lo - 1), b - 1) << "bucket " << b;
+    }
+  }
+}
+
+TEST(MetricsRegistryTest, HistogramRecordsCountSumAndBuckets) {
+  MetricsRegistry registry;
+  HistogramId id = registry.RegisterHistogram("test.hist");
+  registry.Record(id, 0);
+  registry.Record(id, 1);
+  registry.Record(id, 2);
+  registry.Record(id, 3);
+  registry.Record(id, 1024);
+  MetricsSnapshot snap = registry.Snapshot();
+  const HistogramSnapshot* h = snap.Histogram("test.hist");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count, 5u);
+  EXPECT_EQ(h->sum, 0u + 1 + 2 + 3 + 1024);
+  EXPECT_DOUBLE_EQ(h->Mean(), 1030.0 / 5.0);
+  EXPECT_EQ(h->buckets[0], 1u);   // value 0
+  EXPECT_EQ(h->buckets[1], 1u);   // value 1
+  EXPECT_EQ(h->buckets[2], 2u);   // values 2, 3
+  EXPECT_EQ(h->buckets[11], 1u);  // value 1024 = 2^10
+  EXPECT_EQ(snap.Histogram("never.registered"), nullptr);
+}
+
+TEST(MetricsRegistryTest, ConcurrentRecordingAggregatesAcrossShards) {
+  MetricsRegistry registry;
+  CounterId counter = registry.RegisterCounter("test.concurrent");
+  HistogramId hist = registry.RegisterHistogram("test.concurrent_hist");
+  const int kThreads = 8;
+  const uint64_t kEach = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (uint64_t i = 0; i < kEach; ++i) {
+        registry.Add(counter, 1);
+        registry.Record(hist, i % 7);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  MetricsSnapshot snap = registry.Snapshot();
+  EXPECT_EQ(snap.CounterValue("test.concurrent"), kThreads * kEach);
+  const HistogramSnapshot* h = snap.Histogram("test.concurrent_hist");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count, kThreads * kEach);
+  // Shards persist after their threads exit (this thread may share one).
+  EXPECT_GE(registry.num_shards(), static_cast<size_t>(kThreads));
+}
+
+TEST(MetricsRegistryTest, KindClashRecordsIntoSilentSink) {
+  MetricsRegistry registry;
+  CounterId counter = registry.RegisterCounter("test.clash");
+  HistogramId clash = registry.RegisterHistogram("test.clash");
+  registry.Add(counter, 5);
+  registry.Record(clash, 123);  // must neither crash nor corrupt the counter
+  MetricsSnapshot snap = registry.Snapshot();
+  EXPECT_EQ(snap.CounterValue("test.clash"), 5u);
+  EXPECT_EQ(snap.Histogram("test.clash"), nullptr);
+}
+
+TEST(MetricsRegistryTest, ResetZeroesEverything) {
+  MetricsRegistry registry;
+  CounterId counter = registry.RegisterCounter("test.reset");
+  HistogramId hist = registry.RegisterHistogram("test.reset_hist");
+  registry.Add(counter, 9);
+  registry.Record(hist, 9);
+  registry.Reset();
+  MetricsSnapshot snap = registry.Snapshot();
+  EXPECT_EQ(snap.CounterValue("test.reset"), 0u);
+  const HistogramSnapshot* h = snap.Histogram("test.reset_hist");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count, 0u);
+  EXPECT_EQ(h->sum, 0u);
+  // Ids stay valid after Reset.
+  registry.Add(counter, 2);
+  EXPECT_EQ(registry.Snapshot().CounterValue("test.reset"), 2u);
+}
+
+TEST(MetricsRegistryTest, SnapshotIsSortedByName) {
+  MetricsRegistry registry;
+  registry.RegisterCounter("zebra");
+  registry.RegisterCounter("alpha");
+  registry.RegisterCounter("middle");
+  MetricsSnapshot snap = registry.Snapshot();
+  ASSERT_EQ(snap.counters.size(), 3u);
+  EXPECT_EQ(snap.counters[0].first, "alpha");
+  EXPECT_EQ(snap.counters[1].first, "middle");
+  EXPECT_EQ(snap.counters[2].first, "zebra");
+}
+
+#if COTS_METRICS_ENABLED
+TEST(MetricsMacrosTest, MacrosRecordIntoGlobalRegistry) {
+  COTS_COUNTER_INC("test.macro_counter");
+  COTS_COUNTER_ADD("test.macro_counter", uint64_t{4});
+  COTS_HISTOGRAM_RECORD("test.macro_hist", uint64_t{16});
+  MetricsSnapshot snap = MetricsRegistry::Global().Snapshot();
+  EXPECT_GE(snap.CounterValue("test.macro_counter"), 5u);
+  const HistogramSnapshot* h = snap.Histogram("test.macro_hist");
+  ASSERT_NE(h, nullptr);
+  EXPECT_GE(h->count, 1u);
+  EXPECT_GE(h->buckets[5], 1u);  // 16 = 2^4 lands in bucket 5
+}
+#endif  // COTS_METRICS_ENABLED
+
+TEST(MetricsSnapshotTest, ToJsonContainsBothSections) {
+  MetricsRegistry registry;
+  registry.Add(registry.RegisterCounter("test.json_counter"), 7);
+  registry.Record(registry.RegisterHistogram("test.json_hist"), 3);
+  const std::string json = registry.Snapshot().ToJson();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"test.json_counter\":7"), std::string::npos);
+  EXPECT_NE(json.find("\"test.json_hist\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cots

@@ -105,6 +105,110 @@ TEST(RequestQueueTest, CloseEnqueueRaceLosesNothing) {
   }
 }
 
+// Drain races enqueue: every accepted request is drained exactly once and
+// per-producer FIFO order survives the moving drain.
+TEST(RequestQueueTest, ConcurrentEnqueueDrainPreservesAllAndOrder) {
+  const int kProducers = 3;
+  const uint64_t kEach = 4000;
+  RequestQueue q;
+  std::atomic<bool> producers_done{false};
+  std::vector<std::thread> producers;
+  for (int t = 0; t < kProducers; ++t) {
+    producers.emplace_back([&q, t] {
+      for (uint64_t i = 0; i < kEach; ++i) {
+        // Encode (producer, sequence) so the drainer can check order.
+        Request r;
+        r.kind = Request::Kind::kIncrement;
+        r.key = static_cast<ElementId>(t);
+        r.delta = i;
+        ASSERT_TRUE(q.TryEnqueue(r));
+      }
+    });
+  }
+  std::vector<Request> drained;
+  std::thread drainer([&] {
+    std::vector<Request> out;
+    while (!producers_done.load() || !q.empty()) {
+      out.clear();
+      q.DrainTo(&out);
+      drained.insert(drained.end(), out.begin(), out.end());
+    }
+  });
+  for (std::thread& p : producers) p.join();
+  producers_done.store(true);
+  drainer.join();
+  ASSERT_EQ(drained.size(), static_cast<size_t>(kProducers) * kEach);
+  std::vector<uint64_t> next_seq(kProducers, 0);
+  for (const Request& r : drained) {
+    ASSERT_LT(r.key, static_cast<ElementId>(kProducers));
+    EXPECT_EQ(r.delta, next_seq[r.key]++);
+  }
+  for (int t = 0; t < kProducers; ++t) {
+    EXPECT_EQ(next_seq[t], kEach);
+  }
+}
+
+// Three-way close/enqueue/drain race: an independent drainer competes with
+// the closer, and still nothing is lost or accepted after close.
+TEST(RequestQueueTest, CloseEnqueueDrainThreeWayRace) {
+  for (int round = 0; round < 30; ++round) {
+    RequestQueue q;
+    std::atomic<uint64_t> accepted{0};
+    std::atomic<uint64_t> rejected{0};
+    std::atomic<uint64_t> drained{0};
+    std::atomic<bool> go{false};
+    std::atomic<bool> closed{false};
+
+    std::thread producer([&] {
+      while (!go.load()) {
+      }
+      for (int i = 0; i < 300; ++i) {
+        if (q.TryEnqueue(MakeIncrement(1))) {
+          accepted.fetch_add(1);
+        } else {
+          rejected.fetch_add(1);
+        }
+      }
+    });
+    std::thread drainer([&] {
+      while (!go.load()) {
+      }
+      std::vector<Request> out;
+      while (!closed.load()) {
+        out.clear();
+        drained.fetch_add(q.DrainTo(&out));
+      }
+    });
+    std::thread closer([&] {
+      while (!go.load()) {
+      }
+      std::vector<Request> out;
+      for (;;) {
+        out.clear();
+        drained.fetch_add(q.DrainTo(&out));
+        if (q.CloseIfEmpty()) break;
+      }
+      closed.store(true);
+    });
+    go.store(true);
+    producer.join();
+    closer.join();
+    drainer.join();
+    EXPECT_TRUE(q.closed());
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(accepted.load(), drained.load());
+    EXPECT_EQ(accepted.load() + rejected.load(), 300u);
+  }
+}
+
+TEST(RequestQueueTest, DrainOfEmptyQueueLeavesOutUntouched) {
+  RequestQueue q;
+  std::vector<Request> out = {MakeIncrement(5)};
+  EXPECT_EQ(q.DrainTo(&out), 0u);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].delta, 5u);
+}
+
 TEST(RequestQueueTest, ConcurrentProducersAllLand) {
   RequestQueue q;
   const int kThreads = 4;

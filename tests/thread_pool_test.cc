@@ -4,6 +4,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <random>
 #include <thread>
 
 namespace cots {
@@ -105,6 +106,100 @@ TEST(ThreadPoolTest, UnparkCancelsPendingParkRequests) {
   release.store(true);
   pool.Wait();
   EXPECT_EQ(pool.parked(), 0);
+}
+
+// Regression: Park used to count sleepers already credited to wake
+// (unpark_credits_) as parked, so Park(n) issued right after Unpark(n)
+// granted fewer park requests than workers available to park.
+TEST(ThreadPoolTest, ParkRightAfterUnparkGrantsFully) {
+  ThreadPool pool(4);
+  ASSERT_EQ(pool.Park(4), 4);
+  for (int i = 0; i < 1000 && pool.parked() < 4; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_EQ(pool.parked(), 4);
+  ASSERT_EQ(pool.Unpark(4), 4);
+  // Whether the sleepers have woken yet or are still credited, every one
+  // of the 4 workers is (or is about to be) active — all must be parkable.
+  EXPECT_EQ(pool.Park(4), 4);
+  EXPECT_EQ(pool.parked_or_parking(), 4);
+  EXPECT_EQ(pool.Unpark(4), 4);
+  pool.Wait();
+}
+
+// Interleaved Park/Unpark stress: the ledger identity
+//   parked_or_parking() == sum(Park returns) - sum(Unpark returns)
+// must hold at every step, and the pool must still run tasks afterwards.
+TEST(ThreadPoolTest, InterleavedParkUnparkStress) {
+  const int kWorkers = 4;
+  ThreadPool pool(kWorkers);
+  std::mt19937 rng(20260807);
+  int outstanding = 0;
+  for (int i = 0; i < 3000; ++i) {
+    const int count = static_cast<int>(rng() % (kWorkers + 2));
+    if (rng() % 2 == 0) {
+      const int asked = pool.Park(count);
+      ASSERT_LE(asked, count);
+      outstanding += asked;
+    } else {
+      const int woken = pool.Unpark(count);
+      ASSERT_LE(woken, count);
+      outstanding -= woken;
+    }
+    ASSERT_GE(outstanding, 0);
+    ASSERT_LE(outstanding, kWorkers);
+    ASSERT_EQ(pool.parked_or_parking(), outstanding);
+  }
+  EXPECT_EQ(pool.Unpark(kWorkers), outstanding);
+  for (int i = 0; i < 1000 && pool.parked() > 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(pool.parked(), 0);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 64; ++i) {
+    pool.Submit([&done] { done.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(done.load(), 64);
+}
+
+// Two controller threads race Park/Unpark against live workers; afterwards
+// a full Unpark must restore every worker (no lost wakeups, no stuck
+// park requests from over- or under-granting).
+TEST(ThreadPoolTest, ConcurrentParkUnparkControllersRecover) {
+  const int kWorkers = 4;
+  ThreadPool pool(kWorkers);
+  std::atomic<bool> stop{false};
+  auto controller = [&pool, &stop, kWorkers](uint32_t seed) {
+    std::mt19937 rng(seed);
+    while (!stop.load()) {
+      if (rng() % 2 == 0) {
+        pool.Park(static_cast<int>(rng() % 3));
+      } else {
+        pool.Unpark(static_cast<int>(rng() % 3));
+      }
+      const int pending = pool.parked_or_parking();
+      ASSERT_GE(pending, 0);
+      ASSERT_LE(pending, kWorkers);
+    }
+  };
+  std::thread a(controller, 1u);
+  std::thread b(controller, 2u);
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  stop.store(true);
+  a.join();
+  b.join();
+  // Drain whatever park state the race left behind.
+  while (pool.parked_or_parking() > 0) {
+    pool.Unpark(kWorkers);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  std::atomic<int> done{0};
+  for (int i = 0; i < 32; ++i) {
+    pool.Submit([&done] { done.fetch_add(1); });
+  }
+  pool.Wait();
+  EXPECT_EQ(done.load(), 32);
 }
 
 TEST(ThreadPoolTest, DestructorJoinsWithParkedWorkers) {
