@@ -21,12 +21,14 @@ int main(int argc, char** argv) {
   PrintHeader("Headline: peak CoTS throughput (elements/second)", config);
   std::printf("stream: %llu elements\n\n", static_cast<unsigned long long>(n));
 
-  PrintRow({"alpha", "seq rate", "best CoTS", "at threads", "bulk incs"});
+  PrintRow({"alpha", "seq rate", "1-thread", "best CoTS", "at threads",
+            "bulk incs"});
   double peak = 0.0;
   for (double alpha : alphas) {
     Stream stream = MakeStream(n, alpha, config);
     const double seq = TimeSequential(stream, config.capacity);
     double best = 1e100;
+    double single = 0.0;
     int best_t = 0;
     uint64_t best_bulk = 0;
     for (int t : threads) {
@@ -34,6 +36,7 @@ int main(int argc, char** argv) {
       const double seconds = BestOf(config, [&] {
         return TimeCots(stream, t, config.capacity, &stats);
       });
+      if (t == 1) single = seconds;
       if (seconds < best) {
         best = seconds;
         best_t = t;
@@ -45,6 +48,15 @@ int main(int argc, char** argv) {
     BenchReport::Global().AddTiming(
         "sequential a=" + std::to_string(alpha), seq,
         {{"alpha", alpha}, {"rate_eps", static_cast<double>(n) / seq}});
+    // The single-thread row isolates the batched-ingest pipeline (prefetch
+    // + coalescing) from scaling effects: it is the per-core ingest cost.
+    if (single > 0.0) {
+      BenchReport::Global().AddTiming(
+          "cots single-thread a=" + std::to_string(alpha), single,
+          {{"alpha", alpha},
+           {"threads", 1.0},
+           {"rate_eps", static_cast<double>(n) / single}});
+    }
     BenchReport::Global().AddTiming(
         "cots a=" + std::to_string(alpha), best,
         {{"alpha", alpha},
@@ -52,8 +64,11 @@ int main(int argc, char** argv) {
          {"rate_eps", rate},
          {"bulk_increments", static_cast<double>(best_bulk)}});
     PrintRow({("a=" + std::to_string(alpha)).substr(0, 5),
-              FormatRate(static_cast<double>(n) / seq), FormatRate(rate),
-              std::to_string(best_t), std::to_string(best_bulk)});
+              FormatRate(static_cast<double>(n) / seq),
+              single > 0.0 ? FormatRate(static_cast<double>(n) / single)
+                           : std::string("-"),
+              FormatRate(rate), std::to_string(best_t),
+              std::to_string(best_bulk)});
   }
   BenchReport::Global().AddTiming("peak", static_cast<double>(n) / peak,
                                   {{"rate_eps", peak}});

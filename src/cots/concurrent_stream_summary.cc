@@ -131,12 +131,18 @@ void ConcurrentStreamSummary::TryCleanHead(WorkContext* ctx) {
 }
 
 void ConcurrentStreamSummary::Dispatch(const Request& request,
-                                       WorkContext* ctx,
-                                       FreqBucket* exclude) {
+                                       WorkContext* ctx) {
   switch (request.kind) {
     case Request::Kind::kAdd: {
       // New elements and re-routed placements enter through the sentinel,
       // whose queue never closes.
+      if (sentinel_ == ctx->holding) {
+        // We already hold the target: splice into the in-flight batch. The
+        // request rings are bounded, so a holder must never enqueue into
+        // the ring it alone is responsible for draining.
+        ctx->batch.push_back(request);
+        return;
+      }
       const bool ok = sentinel_->queue.TryEnqueue(request);
       assert(ok);
       (void)ok;
@@ -149,6 +155,10 @@ void ConcurrentStreamSummary::Dispatch(const Request& request,
       SummaryNode* node = static_cast<SummaryNode*>(request.node);
       FreqBucket* bucket = node->bucket;
       assert(bucket != nullptr);
+      if (bucket == ctx->holding) {
+        ctx->batch.push_back(request);
+        return;
+      }
       const bool ok = bucket->queue.TryEnqueue(request);
       assert(ok);
       (void)ok;
@@ -156,8 +166,17 @@ void ConcurrentStreamSummary::Dispatch(const Request& request,
       return;
     }
     case Request::Kind::kOverwrite: {
-      // Route to the first live bucket other than `exclude`; retry when it
-      // closes between the traversal and the enqueue.
+      // Route to the first live bucket — the minimum, where Space Saving
+      // evicts. Do NOT try to be smarter and skip buckets that look empty:
+      // `head` (and `size`) are only readable exactly from under the hold,
+      // and a minimum bucket looks transiently empty whenever its holder
+      // has nodes detached mid-move. Skipping it evicts from a higher
+      // bucket, and a victim evicted with estimate f_hi that later
+      // re-enters seeds from the then-minimum f_lo < f_hi — silently
+      // breaking the count >= truth guarantee. Empty buckets instead park
+      // the request and forward it after they CLOSE (see TryProcessBucket),
+      // at which point the gc check below stops routing anything new their
+      // way.
       for (uint64_t spins = 0;; ++spins) {
         // Watchdog: this loop retries a handful of times in practice; tens
         // of millions of iterations means a liveness bug, and aborting
@@ -172,18 +191,21 @@ void ConcurrentStreamSummary::Dispatch(const Request& request,
         FreqBucket* min = nullptr;
         for (FreqBucket* b = sentinel_->next.load(std::memory_order_acquire);
              b != nullptr; b = b->next.load(std::memory_order_acquire)) {
-          if (b == exclude || b->gc.load(std::memory_order_acquire)) continue;
+          if (b->gc.load(std::memory_order_acquire)) continue;
           min = b;
           break;
         }
         // Overwrites only exist once capacity is reached, so a live bucket
-        // with elements exists somewhere; a transiently empty view retries.
+        // exists somewhere; a transiently empty view retries.
+        if (min != nullptr && min == ctx->holding) {
+          ctx->batch.push_back(request);
+          return;
+        }
         if (min != nullptr && min->queue.TryEnqueue(request)) {
           ctx->work.push_back(min);
           return;
         }
-        // A victim source exists but is transiently invisible (mid-GC or
-        // every node in flight); give the other threads the CPU.
+        // The list head is transiently mid-GC; give other threads the CPU.
         CpuRelax();
         std::this_thread::yield();
       }
@@ -407,6 +429,7 @@ void ConcurrentStreamSummary::TryProcessBucket(FreqBucket* bucket,
     if (!bucket->gc.load(std::memory_order_acquire)) {
       UnlinkDeadSuccessors(bucket, ctx);
     }
+    ctx->holding = bucket;
     bool retried_parked = false;
     for (;;) {
       ctx->batch.clear();
@@ -429,7 +452,12 @@ void ConcurrentStreamSummary::TryProcessBucket(FreqBucket* bucket,
       retried_parked = true;
       if (ctx->batch.empty()) break;
       ctx->deferred.clear();
-      for (const Request& request : ctx->batch) {
+      // Index loop, and the request is copied out: ProcessRequest may
+      // splice follow-up work for this very bucket onto the end of the
+      // batch (Dispatch's holding fast path), growing — and possibly
+      // reallocating — ctx->batch mid-iteration.
+      for (size_t i = 0; i < ctx->batch.size(); ++i) {
+        const Request request = ctx->batch[i];
         ProcessRequest(bucket, request, ctx);
       }
       if (!ctx->deferred.empty()) {
@@ -442,18 +470,31 @@ void ConcurrentStreamSummary::TryProcessBucket(FreqBucket* bucket,
                                    std::memory_order_release);
       }
     }
-    // Overwrites parked at a bucket with no elements can never succeed
-    // here: forward them to another victim source before releasing.
-    if (bucket->size == 0 && !bucket->parked.empty()) {
-      std::vector<Request> orphans;
-      orphans.swap(bucket->parked);
-      bucket->parked_count.store(0, std::memory_order_release);
-      for (const Request& request : orphans) Dispatch(request, ctx, bucket);
-    }
-    if (bucket != sentinel_ && bucket->size == 0 && bucket->parked.empty() &&
+    // Past this point every Dispatch must go through the queues again (the
+    // batch loop is done; splicing would strand requests).
+    ctx->holding = nullptr;
+    // Close before forwarding, never the other way around. Parked
+    // overwrites at an empty bucket must travel to a live victim source,
+    // but forwarding from a bucket that is still OPEN let two empty
+    // buckets bounce orphans into each other's queues forever — each
+    // forward kept the other side's queue non-empty, defeating its
+    // close-only-when-empty check, so neither ever died and dispatch
+    // never reached the real victims beyond them. Closing first makes the
+    // forward graph acyclic for free: a dead bucket is no longer a
+    // dispatch target (the gc check in Dispatch), so every orphan hop
+    // lands at a bucket that either serves it or dies in turn — and a
+    // bucket dies at most once.
+    if (bucket != sentinel_ && bucket->size == 0 &&
         !bucket->gc.load(std::memory_order_relaxed) &&
         bucket->queue.CloseIfEmpty()) {
       bucket->gc.store(true, std::memory_order_release);
+    }
+    if (bucket->gc.load(std::memory_order_relaxed) &&
+        !bucket->parked.empty()) {
+      std::vector<Request> orphans;
+      orphans.swap(bucket->parked);
+      bucket->parked_count.store(0, std::memory_order_release);
+      for (const Request& request : orphans) Dispatch(request, ctx);
     }
     bucket->held.store(false, std::memory_order_release);
     // Requests that arrived between the final drain and the release would
@@ -474,8 +515,14 @@ void ConcurrentStreamSummary::CrossBoundary(DelegationHashTable::Entry* entry,
                                             bool newly_inserted,
                                             uint64_t delta, uint64_t token,
                                             EpochParticipant* participant,
-                                            uint64_t initial_error) {
-  WorkContext ctx;
+                                            uint64_t initial_error,
+                                            WorkContext* scratch) {
+  // Callers on the ingest hot path pass a per-thread scratch context so the
+  // work/batch vectors keep their capacity across elements; one-shot
+  // callers fall back to a local.
+  WorkContext local;
+  WorkContext& ctx = scratch != nullptr ? *scratch : local;
+  ctx.Reset();
   ctx.participant = participant;
   Request request;
   if (newly_inserted) {
@@ -577,7 +624,13 @@ std::vector<Counter> ConcurrentStreamSummary::CountersDescending(
   return out;
 }
 
-size_t ConcurrentStreamSummary::ApproxQueueDepth() const {
+size_t ConcurrentStreamSummary::ApproxQueueDepth(
+    EpochParticipant* participant) const {
+  // The sentinel is permanent, but the walk to the first live bucket races
+  // with bucket GC; the guard keeps a concurrently unlinked bucket from
+  // being reclaimed under the sampler's feet. The queue reads are relaxed
+  // ring-index loads — no locks, so sampling never slows producers.
+  EpochGuard guard(participant);
   size_t depth = sentinel_->queue.size();
   FreqBucket* min = FirstLiveBucket();
   if (min != nullptr) {
@@ -597,7 +650,7 @@ void ConcurrentStreamSummary::DumpState(std::FILE* out,
                                         EpochParticipant* participant) const {
   EpochGuard guard(participant);
   std::fprintf(out, "summary: monitored=%zu/%zu depth=%zu\n",
-               num_monitored(), capacity_, ApproxQueueDepth());
+               num_monitored(), capacity_, ApproxQueueDepth(participant));
   int i = 0;
   int dead = 0;
   for (FreqBucket* b = sentinel_; b != nullptr && i < 100000;

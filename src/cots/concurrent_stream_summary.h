@@ -101,6 +101,31 @@ struct ConcurrentStreamSummaryOptions {
 
 class ConcurrentStreamSummary {
  public:
+  /// Per-operation scratch threaded through the delegation machinery: the
+  /// pending-bucket work list, drain/defer batches, and the bucket the
+  /// executing thread currently holds (so work for that bucket is spliced
+  /// into the in-flight batch instead of re-entering its own queue — with
+  /// bounded request rings, a holder must never wait on itself as
+  /// consumer). Hot callers keep one per thread and pass it to
+  /// CrossBoundary so the vectors' capacity survives across elements and
+  /// the per-offer path allocates nothing in steady state.
+  struct WorkContext {
+    EpochParticipant* participant = nullptr;
+    std::vector<FreqBucket*> work;
+    std::vector<Request> batch;     // drain scratch
+    std::vector<Request> deferred;  // overwrite re-queue scratch
+    /// Bucket currently held by this thread (nullptr outside a hold).
+    FreqBucket* holding = nullptr;
+
+    /// Clears per-operation state; keeps vector capacity.
+    void Reset() {
+      work.clear();
+      batch.clear();
+      deferred.clear();
+      holding = nullptr;
+    }
+  };
+
   /// Monotonically-updated counters describing framework behaviour; used by
   /// tests and reported by benches (e.g. bulk increments explain the
   /// superlinear speedups of Figure 11).
@@ -126,9 +151,13 @@ class ConcurrentStreamSummary {
   /// returning.
   /// `initial_error` seeds a newly admitted element's error and inflates
   /// its starting frequency (Lossy Counting's delta; 0 for Space Saving).
+  /// `scratch` (optional) is a caller-owned WorkContext reused across
+  /// calls; the ingest hot path passes one per thread so crossing the
+  /// boundary never allocates.
   void CrossBoundary(DelegationHashTable::Entry* entry, bool newly_inserted,
                      uint64_t delta, uint64_t token,
-                     EpochParticipant* participant, uint64_t initial_error = 0);
+                     EpochParticipant* participant, uint64_t initial_error = 0,
+                     WorkContext* scratch = nullptr);
 
   /// Round-boundary eviction for the Lossy Counting adaptation (Section
   /// 5.3): delegates a kEvict request to every live bucket whose frequency
@@ -161,8 +190,12 @@ class ConcurrentStreamSummary {
 
   /// Rough number of logged-but-unprocessed requests at the structure's hot
   /// spots (sentinel + the first live bucket). The adaptive scheduler's
-  /// sigma/rho thresholds (Section 5.2.3) compare against this.
-  size_t ApproxQueueDepth() const;
+  /// sigma/rho thresholds (Section 5.2.3) compare against this. The walk to
+  /// the first live bucket races with bucket reclamation, so the sampling
+  /// thread must supply an epoch participant; the queue reads themselves
+  /// are non-blocking relaxed ring-index loads and never contend with
+  /// producers.
+  size_t ApproxQueueDepth(EpochParticipant* participant) const;
 
   /// Introspection: prints one line per bucket (freq, size, queue, parked,
   /// held, gc) plus the global stats to `out`. Lock-free racy read; meant
@@ -177,18 +210,13 @@ class ConcurrentStreamSummary {
                                 std::string* why = nullptr) const;
 
  private:
-  struct WorkContext {
-    EpochParticipant* participant = nullptr;
-    std::vector<FreqBucket*> work;
-    std::vector<Request> batch;     // drain scratch
-    std::vector<Request> deferred;  // overwrite re-queue scratch
-  };
-
   // Routes a request to the right bucket's queue and records the bucket in
-  // the work list. Never fails: re-routes around closed queues. `exclude`
-  // (overwrites only) skips a bucket that cannot serve as a victim source.
-  void Dispatch(const Request& request, WorkContext* ctx,
-                FreqBucket* exclude = nullptr);
+  // the work list (or splices it straight into the in-flight batch when the
+  // target is the bucket this thread already holds). Never fails: re-routes
+  // around closed queues. Overwrites go to the first live bucket — the
+  // minimum; a bucket that closed (gc) stops being a target, which is what
+  // keeps orphan forwarding in TryProcessBucket acyclic.
+  void Dispatch(const Request& request, WorkContext* ctx);
 
   // Drains ctx->work, try-acquiring and processing each bucket.
   void ProcessWork(WorkContext* ctx);

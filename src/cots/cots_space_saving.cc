@@ -77,11 +77,86 @@ void CotsSpaceSaving::ThreadHandle::Offer(ElementId e, uint64_t weight) {
   OfferGuarded(e, weight);
 }
 
-void CotsSpaceSaving::ThreadHandle::OfferBatch(const ElementId* elements,
-                                               size_t count) {
+namespace {
+
+// Finalizer-strength mix (same constants as the hash table's BucketFor) so
+// the coalescing index spreads adversarial keys.
+inline uint64_t MixKey(ElementId e) {
+  uint64_t h = e;
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
+  return h;
+}
+
+inline size_t RoundUpPowerOfTwo(size_t v) {
+  size_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+void CotsSpaceSaving::ThreadHandle::OfferBatch(
+    const ElementId* elements, size_t count,
+    const BatchIngestOptions& options) {
+  if (count == 0) return;
   engine_->n_.fetch_add(count, std::memory_order_relaxed);
   EpochGuard guard(participant_);
-  for (size_t i = 0; i < count; ++i) OfferGuarded(elements[i], 1);
+
+  if (!options.coalesce) {
+    // Uncoalesced pipeline: prefetch hash buckets a fixed distance ahead
+    // so Delegate's dependent-load walk overlaps across elements.
+    const size_t dist = options.prefetch_distance;
+    for (size_t i = 0; i < count; ++i) {
+      if (dist != 0 && i + dist < count) {
+        engine_->table_.PrefetchBucket(elements[i + dist]);
+      }
+      OfferGuarded(elements[i], 1);
+    }
+    return;
+  }
+
+  // Coalesce duplicate keys inside the batch window into (key, weight)
+  // lumps, preserving first-occurrence order. The stamped index makes the
+  // per-batch reset O(1) instead of O(table).
+  const size_t want_slots = RoundUpPowerOfTwo(count * 2);
+  if (coalesce_slots_.size() < want_slots) {
+    coalesce_slots_.assign(want_slots, CoalesceSlot{});
+  }
+  const size_t mask = coalesce_slots_.size() - 1;
+  const uint64_t stamp = ++coalesce_stamp_;
+  coalesced_.clear();
+  for (size_t i = 0; i < count; ++i) {
+    const ElementId e = elements[i];
+    size_t slot = static_cast<size_t>(MixKey(e)) & mask;
+    for (;;) {
+      CoalesceSlot& s = coalesce_slots_[slot];
+      if (s.stamp != stamp) {
+        s.stamp = stamp;
+        s.index = static_cast<uint32_t>(coalesced_.size());
+        coalesced_.emplace_back(e, uint64_t{1});
+        break;
+      }
+      if (coalesced_[s.index].first == e) {
+        ++coalesced_[s.index].second;
+        break;
+      }
+      slot = (slot + 1) & mask;  // linear probe
+    }
+  }
+  COTS_COUNTER_ADD("ingest.coalesce_hits",
+                   static_cast<uint64_t>(count - coalesced_.size()));
+  COTS_HISTOGRAM_RECORD("ingest.batch_distinct", coalesced_.size());
+
+  const size_t dist = options.prefetch_distance;
+  const size_t distinct = coalesced_.size();
+  for (size_t i = 0; i < distinct; ++i) {
+    if (dist != 0 && i + dist < distinct) {
+      engine_->table_.PrefetchBucket(coalesced_[i + dist].first);
+    }
+    OfferGuarded(coalesced_[i].first, coalesced_[i].second);
+  }
 }
 
 void CotsSpaceSaving::ThreadHandle::OfferGuarded(ElementId e,
@@ -97,7 +172,8 @@ void CotsSpaceSaving::ThreadHandle::OfferGuarded(ElementId e,
       // other remaining-1 occurrences were never logged, so they are ours
       // to carry as part of delta.
       engine_->summary_.CrossBoundary(r.entry, r.newly_inserted, remaining,
-                                      /*token=*/1, participant_);
+                                      /*token=*/1, participant_,
+                                      /*initial_error=*/0, &scratch_);
       return;
     }
     --remaining;              // the current owner applies the 1 we logged
@@ -115,7 +191,8 @@ void CotsSpaceSaving::ThreadHandle::OfferGuarded(ElementId e,
     if (old == 0) {
       engine_->summary_.CrossBoundary(r.entry, /*newly_inserted=*/false,
                                       remaining, /*token=*/remaining,
-                                      participant_);
+                                      participant_, /*initial_error=*/0,
+                                      &scratch_);
     }
     return;
   }

@@ -26,6 +26,8 @@
 #include <cstdio>
 #include <memory>
 #include <mutex>
+#include <utility>
+#include <vector>
 
 #include "core/counter.h"
 #include "cots/concurrent_stream_summary.h"
@@ -35,6 +37,24 @@
 #include "util/status.h"
 
 namespace cots {
+
+/// Knobs for the batched ingest pipeline (ThreadHandle::OfferBatch). The
+/// defaults are what every engine user gets; the bench family
+/// micro_components sweeps them (batch size x prefetch distance x
+/// coalescing on/off) to justify the numbers.
+struct BatchIngestOptions {
+  /// How many elements ahead of the cursor to prefetch hash buckets for;
+  /// 0 disables prefetching. ~8 covers an L2 miss at typical per-element
+  /// processing cost.
+  size_t prefetch_distance = 8;
+  /// Coalesce duplicate keys inside the batch window into one weighted
+  /// offer. On skewed streams this collapses most delegation traffic into
+  /// single weighted fetch_add lumps; occurrences of a key apply at its
+  /// first position in the window (order inside one window is not
+  /// preserved, which matches the engine's concurrent semantics — a
+  /// delegated lump already lands as one bulk increment).
+  bool coalesce = true;
+};
 
 struct CotsSpaceSavingOptions {
   /// Monitored counters (m); derived from epsilon when 0.
@@ -65,12 +85,17 @@ class CotsSpaceSaving : public FrequencySummary {
     /// delegated work.
     void Offer(ElementId e, uint64_t weight = 1);
 
-    /// Processes `count` elements under one epoch guard — the per-element
-    /// guard entry (a seq_cst store) is the dominant fixed cost of Offer,
-    /// so batching it matters on the hot ingest path. Keep batches modest
-    /// (hundreds to a few thousand): the epoch is pinned for the whole
-    /// batch, which delays memory reclamation.
-    void OfferBatch(const ElementId* elements, size_t count);
+    /// Processes `count` elements as one pipelined batch: a single stream-
+    /// length add and epoch pin for the whole batch, duplicate keys
+    /// coalesced into weighted offers, and hash buckets prefetched a fixed
+    /// distance ahead of the cursor (see BatchIngestOptions). Keep batches
+    /// modest (hundreds to a few thousand): the epoch is pinned for the
+    /// whole batch, which delays memory reclamation.
+    void OfferBatch(const ElementId* elements, size_t count) {
+      OfferBatch(elements, count, BatchIngestOptions{});
+    }
+    void OfferBatch(const ElementId* elements, size_t count,
+                    const BatchIngestOptions& options);
 
     /// Point lookup through this thread's epoch slot (lock-free).
     std::optional<Counter> Lookup(ElementId e) const;
@@ -91,6 +116,21 @@ class CotsSpaceSaving : public FrequencySummary {
 
     CotsSpaceSaving* engine_;
     EpochParticipant* participant_;
+
+    // Reused across offers so the boundary crossing allocates nothing in
+    // steady state (ThreadHandle is single-threaded by contract).
+    ConcurrentStreamSummary::WorkContext scratch_;
+
+    // In-batch coalescing scratch: a stamped open-addressing index over the
+    // current batch window plus the compacted (key, weight) list, kept
+    // across batches so steady-state coalescing never allocates.
+    struct CoalesceSlot {
+      uint64_t stamp = 0;
+      uint32_t index = 0;
+    };
+    std::vector<CoalesceSlot> coalesce_slots_;
+    std::vector<std::pair<ElementId, uint64_t>> coalesced_;
+    uint64_t coalesce_stamp_ = 0;
   };
 
   explicit CotsSpaceSaving(const CotsSpaceSavingOptions& options);
@@ -121,7 +161,13 @@ class CotsSpaceSaving : public FrequencySummary {
   }
 
   /// Hot-spot request backlog; the adaptive scheduler's control signal.
-  size_t queue_depth() const { return summary_.ApproxQueueDepth(); }
+  /// Samples through the shared query epoch slot (the sampler races with
+  /// bucket reclamation, so the walk needs a guard); the queue reads are
+  /// relaxed ring-index loads that never contend with producers.
+  size_t queue_depth() const {
+    std::lock_guard<std::mutex> lock(query_mu_);
+    return summary_.ApproxQueueDepth(query_participant_);
+  }
 
   /// Diagnostic dump of the summary's bucket chain and stats (racy read).
   void DumpState(std::FILE* out) const {

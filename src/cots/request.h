@@ -6,24 +6,39 @@
 // the bucket drains and processes the queue before relinquishing it, so no
 // logged request is ever lost.
 //
-// The queue is a tiny spinlock-guarded FIFO with *close* semantics: a
+// The queue is a bounded lock-free MPSC ring (producers: any thread logging
+// a request; the single consumer: whichever thread currently holds the
+// bucket — bucket ownership serializes consumers) with *close* semantics: a
 // bucket that is about to be garbage collected atomically closes its queue,
-// and closing succeeds only while the queue is empty. An enqueue and a
-// close therefore race safely: either the enqueue lands before the close
-// (the closer sees a non-empty queue and must keep processing) or the
-// enqueue observes the closed flag and the caller re-routes the request to
-// a live bucket. This removes the need for Algorithm 5's appendQueues —
-// a closed queue is always empty by construction.
+// and closing succeeds only while the queue is empty. The closed flag lives
+// in the producer ticket word, so an enqueue and a close race safely:
+// either the enqueue's ticket CAS lands before the close (the closer's CAS
+// then fails against the moved ticket and it must keep processing) or the
+// enqueue observes the closed bit and the caller re-routes the request to a
+// live bucket. This removes the need for Algorithm 5's appendQueues — a
+// closed queue is always empty by construction.
+//
+// A full ring makes the producer spin-retry a bounded number of times (the
+// holder is actively draining); if the consumer still has not freed a slot
+// — e.g. it was descheduled mid-drain, or a holder-to-holder delegation
+// cycle formed under extreme load — the producer falls back to a small
+// spinlock-guarded overflow vector rather than blocking, so enqueue always
+// completes without waiting on the consumer. The fallback is counted
+// ("request_queue.fallback_allocations"); in steady state it is never
+// taken and the whole path is lock-free and allocation-free.
 
 #ifndef COTS_COTS_REQUEST_H_
 #define COTS_COTS_REQUEST_H_
 
+#include <array>
+#include <atomic>
 #include <cstdint>
 #include <iterator>
 #include <vector>
 
 #include "stream/stream.h"
 #include "util/macros.h"
+#include "util/metrics.h"
 #include "util/spinlock.h"
 
 namespace cots {
@@ -72,65 +87,193 @@ struct Request {
   uint8_t reroutes = 0;
 };
 
-/// Multi-producer FIFO drained by the single bucket holder.
+/// Bounded lock-free multi-producer ring drained by the single bucket
+/// holder. See the file comment for the close protocol and the overflow
+/// fallback.
 class RequestQueue {
  public:
-  RequestQueue() = default;
+  /// Ring capacity (requests). Sized so a bucket's ring absorbs a full
+  /// burst of delegations from every worker between two holder drains; a
+  /// 64-slot ring of 64-byte slots is 4 KiB per bucket.
+  static constexpr size_t kRingCapacity = 64;
+
+  RequestQueue() {
+    for (size_t i = 0; i < kRingCapacity; ++i) {
+      ring_[i].seq.store(i, std::memory_order_relaxed);
+    }
+  }
   COTS_DISALLOW_COPY_AND_ASSIGN(RequestQueue);
 
   /// Returns false iff the queue is closed; the request was NOT logged and
-  /// the caller must re-route it.
+  /// the caller must re-route it. Lock-free: claims a ticket with one CAS
+  /// on the producer word, then publishes into the claimed slot. Never
+  /// blocks on the consumer — a persistently full ring diverts to the
+  /// overflow fallback instead.
   bool TryEnqueue(const Request& request) {
-    std::lock_guard<SpinLock> guard(mu_);
-    if (closed_) return false;
-    items_.push_back(request);
-    return true;
+    bool saw_full = false;
+    for (int full_spins = 0;;) {
+      uint64_t ticket = tail_.load(std::memory_order_acquire);
+      if (COTS_UNLIKELY(ticket & kClosedBit)) return false;
+      Slot& slot = ring_[ticket & kRingMask];
+      const uint64_t seq = slot.seq.load(std::memory_order_acquire);
+      const int64_t diff = static_cast<int64_t>(seq - ticket);
+      if (COTS_LIKELY(diff == 0)) {
+        if (tail_.compare_exchange_weak(ticket, ticket + 1,
+                                        std::memory_order_acq_rel,
+                                        std::memory_order_relaxed)) {
+          slot.item = request;
+          // Publish: the consumer accepts the slot once seq == ticket + 1.
+          slot.seq.store(ticket + 1, std::memory_order_release);
+          return true;
+        }
+        // Lost the ticket race to another producer; retry at the new tail.
+      } else if (diff < 0) {
+        // Ring full: the slot still holds an unconsumed request from one
+        // lap ago. The holder is draining; spin-retry briefly.
+        if (!saw_full) {
+          saw_full = true;
+          COTS_COUNTER_INC("request_queue.full_spins");
+        }
+        if (COTS_UNLIKELY(++full_spins >= kFullSpinLimit)) {
+          return EnqueueOverflow(request);
+        }
+        CpuRelax();
+      }
+      // diff > 0: stale tail read (another producer advanced); retry.
+    }
   }
 
   /// Moves all pending requests into *out (appending). Returns how many.
+  /// Consumer-side only (requires holding the owning bucket): a lock-free
+  /// sweep of published slots, no allocation beyond *out's capacity.
   size_t DrainTo(std::vector<Request>* out) {
-    std::lock_guard<SpinLock> guard(mu_);
-    const size_t n = items_.size();
-    if (n == 0) return 0;
-    // One reserve, then move: enqueuers spin on mu_ for the whole drain,
-    // so the holder must not grow `out` element-by-element under the lock.
-    out->reserve(out->size() + n);
-    out->insert(out->end(), std::make_move_iterator(items_.begin()),
-                std::make_move_iterator(items_.end()));
-    items_.clear();  // keeps capacity: the next enqueue must not allocate
-    return n;
+    uint64_t head = head_.load(std::memory_order_relaxed);
+    const uint64_t tail = tail_.load(std::memory_order_acquire) & ~kClosedBit;
+    size_t drained = 0;
+    while (head != tail) {
+      Slot& slot = ring_[head & kRingMask];
+      bool published = true;
+      for (int spins = 0;
+           slot.seq.load(std::memory_order_acquire) != head + 1; ++spins) {
+        // Claimed but not yet published: the producer won its ticket CAS
+        // and is two plain stores away. Wait briefly; if it was preempted
+        // mid-publish, leave the remainder for the next drain round (the
+        // holder's post-release recheck sees a non-empty queue).
+        if (spins >= kPublishSpinLimit) {
+          published = false;
+          break;
+        }
+        CpuRelax();
+      }
+      if (!published) break;
+      out->push_back(slot.item);
+      // Recycle the slot for the producer one lap ahead.
+      slot.seq.store(head + kRingCapacity, std::memory_order_release);
+      ++head;
+      ++drained;
+    }
+    head_.store(head, std::memory_order_release);
+    if (COTS_UNLIKELY(overflow_count_.load(std::memory_order_acquire) != 0)) {
+      drained += DrainOverflow(out);
+    }
+    return drained;
   }
 
   /// Atomically closes the queue if it is empty. Once closed, it stays
-  /// closed; a closed queue is permanently empty.
+  /// closed; a closed queue is permanently empty. Consumer-side only. The
+  /// close linearizes on the producer word: a producer's ticket CAS and the
+  /// close CAS cannot both succeed from the same tail value.
   bool CloseIfEmpty() {
-    std::lock_guard<SpinLock> guard(mu_);
-    if (!items_.empty()) return false;
-    closed_ = true;
-    return true;
+    // The overflow lock serializes against fallback enqueues, which cannot
+    // linearize through the ticket CAS. Uncontended in steady state.
+    std::lock_guard<SpinLock> guard(overflow_mu_);
+    if (!overflow_.empty()) return false;
+    uint64_t ticket = tail_.load(std::memory_order_relaxed);
+    for (;;) {
+      if (ticket & kClosedBit) return true;
+      if (ticket != head_.load(std::memory_order_relaxed)) return false;
+      if (tail_.compare_exchange_weak(ticket, ticket | kClosedBit,
+                                      std::memory_order_acq_rel,
+                                      std::memory_order_relaxed)) {
+        return true;
+      }
+    }
   }
 
   bool closed() const {
-    std::lock_guard<SpinLock> guard(mu_);
-    return closed_;
+    return (tail_.load(std::memory_order_acquire) & kClosedBit) != 0;
   }
 
+  /// Non-blocking (relaxed ring-index reads): safe for the adaptive
+  /// scheduler's sampling — never contends with producers or the holder.
+  /// Racy by design; reading head before tail keeps the difference >= 0.
   size_t size() const {
-    std::lock_guard<SpinLock> guard(mu_);
-    return items_.size();
+    const uint64_t head = head_.load(std::memory_order_relaxed);
+    const uint64_t tail = tail_.load(std::memory_order_relaxed) & ~kClosedBit;
+    return static_cast<size_t>(tail - head) +
+           overflow_count_.load(std::memory_order_relaxed);
   }
 
-  /// Fast-path emptiness probe (post-release recheck, sweep scans): one
-  /// locked empty() read, not a size() round-trip.
-  bool empty() const {
-    std::lock_guard<SpinLock> guard(mu_);
-    return items_.empty();
-  }
+  /// Fast-path emptiness probe (post-release recheck, sweep scans).
+  bool empty() const { return size() == 0; }
 
  private:
-  mutable SpinLock mu_;
-  bool closed_ = false;
-  std::vector<Request> items_;
+  static constexpr uint64_t kClosedBit = uint64_t{1} << 63;
+  static constexpr uint64_t kRingMask = kRingCapacity - 1;
+  static_assert((kRingCapacity & kRingMask) == 0,
+                "ring capacity must be a power of two");
+  /// Full-ring producer retries before diverting to the overflow fallback.
+  static constexpr int kFullSpinLimit = 256;
+  /// Consumer waits on a claimed-but-unpublished slot before giving up the
+  /// drain round.
+  static constexpr int kPublishSpinLimit = 128;
+
+  /// One ring slot: the publication sequence and its payload share a cache
+  /// line, so an enqueue/drain pair touches exactly one line per request.
+  struct Slot {
+    std::atomic<uint64_t> seq{0};
+    Request item;
+  };
+  static_assert(sizeof(std::atomic<uint64_t>) + sizeof(Request) <=
+                    kCacheLineSize,
+                "a slot should not straddle cache lines");
+
+  bool EnqueueOverflow(const Request& request) {
+    std::lock_guard<SpinLock> guard(overflow_mu_);
+    // Re-check under the lock: CloseIfEmpty holds it too, so a close
+    // cannot slip between this check and the push.
+    if (tail_.load(std::memory_order_acquire) & kClosedBit) return false;
+    COTS_COUNTER_INC("request_queue.fallback_allocations");
+    overflow_.push_back(request);
+    overflow_count_.store(overflow_.size(), std::memory_order_release);
+    return true;
+  }
+
+  size_t DrainOverflow(std::vector<Request>* out) {
+    std::lock_guard<SpinLock> guard(overflow_mu_);
+    const size_t n = overflow_.size();
+    if (n == 0) return 0;
+    out->reserve(out->size() + n);
+    out->insert(out->end(), std::make_move_iterator(overflow_.begin()),
+                std::make_move_iterator(overflow_.end()));
+    overflow_.clear();  // keeps capacity
+    overflow_count_.store(0, std::memory_order_release);
+    return n;
+  }
+
+  /// Producer word: [closed bit | next ticket]. Producers claim tickets by
+  /// CAS; the close bit rides in the same word so close-vs-enqueue is a
+  /// single-word linearization.
+  COTS_CACHE_ALIGNED std::atomic<uint64_t> tail_{0};
+  /// Consumer cursor; written only by the bucket holder (bucket ownership
+  /// hands it off with acquire/release), read by size()/empty() probes.
+  COTS_CACHE_ALIGNED std::atomic<uint64_t> head_{0};
+  COTS_CACHE_ALIGNED std::array<Slot, kRingCapacity> ring_;
+
+  // Overflow fallback; empty in steady state (see file comment).
+  SpinLock overflow_mu_;
+  std::vector<Request> overflow_;
+  std::atomic<size_t> overflow_count_{0};
 };
 
 }  // namespace cots

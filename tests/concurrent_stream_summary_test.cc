@@ -145,7 +145,7 @@ TEST_F(ConcurrentStreamSummaryTest, GarbageCollectionRecyclesBuckets) {
 TEST_F(ConcurrentStreamSummaryTest, QueueDepthQuietAtRest) {
   Offer(1);
   Offer(2);
-  EXPECT_EQ(summary_.ApproxQueueDepth(), 0u);
+  EXPECT_EQ(summary_.ApproxQueueDepth(participant_), 0u);
 }
 
 TEST_F(ConcurrentStreamSummaryTest, StatsCountBulkIncrements) {

@@ -317,24 +317,48 @@ TEST(CotsSpaceSavingTest, StatsReflectDelegation) {
   EXPECT_TRUE(engine.CheckInvariantsQuiescent());
 }
 
-TEST(CotsSpaceSavingTest, OfferBatchMatchesLoop) {
-  CotsSpaceSaving batched(MakeOptions(32));
-  CotsSpaceSaving looped(MakeOptions(32));
-  ZipfOptions zopt;
-  zopt.alphabet_size = 500;
-  zopt.alpha = 2.0;
-  Stream s = MakeZipfStream(20000, zopt);
-  {
-    auto handle = batched.RegisterThread();
-    constexpr size_t kBatch = 256;
-    for (size_t i = 0; i < s.size(); i += kBatch) {
-      handle->OfferBatch(s.data() + i, std::min(kBatch, s.size() - i));
+// ---- OfferBatch equivalence ------------------------------------------------
+//
+// Coalescing applies a window's duplicate occurrences at the key's first
+// position, which reorders *within* a batch window. Below capacity no
+// eviction ever happens and counting is order-independent, so batch ingest
+// must match element-at-a-time ingest EXACTLY for any pipeline knobs. Above
+// capacity, eviction choices are order-sensitive, so equivalence is the
+// Space Saving epsilon guarantee, which holds for every arrival order.
+
+void IngestBatched(CotsSpaceSaving* engine, const Stream& s, size_t batch,
+                   const BatchIngestOptions& options) {
+  auto handle = engine->RegisterThread();
+  for (size_t i = 0; i < s.size(); i += batch) {
+    handle->OfferBatch(s.data() + i, std::min(batch, s.size() - i), options);
+  }
+}
+
+void IngestLooped(CotsSpaceSaving* engine, const Stream& s) {
+  auto handle = engine->RegisterThread();
+  for (ElementId e : s) handle->Offer(e);
+}
+
+// A window stuffed with duplicate runs: the worst case for coalescing (one
+// weighted offer replaces hundreds) and for the in-batch index (adjacent
+// and strided repeats).
+Stream MakeAdversarialDuplicateStream(uint64_t n) {
+  Stream s;
+  s.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    if (i % 7 < 4) {
+      s.push_back(1 + (i / 512) % 3);  // long runs of a few hot keys
+    } else if (i % 7 < 6) {
+      s.push_back(100 + i % 5);  // strided repeats within one window
+    } else {
+      s.push_back(1000 + i);  // singletons
     }
   }
-  {
-    auto handle = looped.RegisterThread();
-    for (ElementId e : s) handle->Offer(e);
-  }
+  return s;
+}
+
+void ExpectExactMatch(const CotsSpaceSaving& batched,
+                      const CotsSpaceSaving& looped) {
   EXPECT_EQ(batched.stream_length(), looped.stream_length());
   std::vector<Counter> a = batched.CountersDescending();
   std::vector<Counter> b = looped.CountersDescending();
@@ -342,8 +366,76 @@ TEST(CotsSpaceSavingTest, OfferBatchMatchesLoop) {
   for (size_t i = 0; i < a.size(); ++i) {
     EXPECT_EQ(a[i].key, b[i].key) << i;
     EXPECT_EQ(a[i].count, b[i].count) << i;
+    EXPECT_EQ(a[i].error, b[i].error) << i;
   }
   EXPECT_TRUE(batched.CheckInvariantsQuiescent());
+}
+
+TEST(CotsSpaceSavingTest, OfferBatchMatchesLoopNoEviction) {
+  ZipfOptions zopt;
+  zopt.alphabet_size = 400;
+  zopt.alpha = 1.5;
+  const std::vector<std::pair<const char*, Stream>> streams = {
+      {"zipf", MakeZipfStream(20000, zopt)},
+      {"uniform", MakeUniformStream(20000, 400, 99)},
+      {"adversarial-dup", MakeAdversarialDuplicateStream(20000)},
+  };
+  // Sweep the pipeline knobs: default, coalescing off, prefetch off, both
+  // off (plain loop), and an oversized distance.
+  const BatchIngestOptions kKnobs[] = {
+      {},
+      {.prefetch_distance = 0, .coalesce = true},
+      {.prefetch_distance = 8, .coalesce = false},
+      {.prefetch_distance = 0, .coalesce = false},
+      {.prefetch_distance = 64, .coalesce = true},
+  };
+  for (const auto& [name, s] : streams) {
+    CotsSpaceSaving looped(MakeOptions(2048));  // capacity > alphabet
+    IngestLooped(&looped, s);
+    for (const BatchIngestOptions& knobs : kKnobs) {
+      SCOPED_TRACE(testing::Message()
+                   << name << " dist=" << knobs.prefetch_distance
+                   << " coalesce=" << knobs.coalesce);
+      CotsSpaceSaving batched(MakeOptions(2048));
+      IngestBatched(&batched, s, 256, knobs);
+      ExpectExactMatch(batched, looped);
+    }
+  }
+}
+
+TEST(CotsSpaceSavingTest, OfferBatchKeepsSpaceSavingBoundsUnderEviction) {
+  ZipfOptions zopt;
+  zopt.alphabet_size = 500;
+  zopt.alpha = 2.0;
+  const std::vector<std::pair<const char*, Stream>> streams = {
+      {"zipf", MakeZipfStream(20000, zopt)},
+      {"uniform", MakeUniformStream(20000, 500, 7)},
+      {"adversarial-dup", MakeAdversarialDuplicateStream(20000)},
+  };
+  constexpr size_t kCapacity = 32;
+  for (const auto& [name, s] : streams) {
+    SCOPED_TRACE(name);
+    ExactCounter exact(s);
+    CotsSpaceSaving batched(MakeOptions(kCapacity));
+    IngestBatched(&batched, s, 256, BatchIngestOptions{});
+    std::string why;
+    ASSERT_TRUE(batched.CheckInvariantsQuiescent(&why)) << why;
+    EXPECT_EQ(batched.stream_length(), s.size());
+    // Space Saving guarantees, independent of arrival order: estimates
+    // overcount by at most `error`, and error <= N / m.
+    const uint64_t eps_bound = s.size() / kCapacity;
+    for (const Counter& c : batched.CountersDescending()) {
+      const uint64_t truth = exact.Count(c.key);
+      EXPECT_GE(c.count, truth) << "undercount for key " << c.key;
+      EXPECT_LE(c.count - c.error, truth) << "bad lower bound " << c.key;
+      EXPECT_LE(c.error, eps_bound) << "error above N/m for key " << c.key;
+    }
+    // Every true heavy hitter (count > N/m) must be monitored.
+    for (ElementId hh : exact.FrequentElements(eps_bound)) {
+      EXPECT_TRUE(batched.Lookup(hh).has_value())
+          << "missing heavy hitter " << hh;
+    }
+  }
 }
 
 TEST(CotsSpaceSavingTest, OfferBatchConcurrent) {
