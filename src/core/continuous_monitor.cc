@@ -24,14 +24,19 @@ ContinuousMonitor::ContinuousMonitor(const FrequencySummary* summary,
 ContinuousMonitor::~ContinuousMonitor() { Stop(); }
 
 void ContinuousMonitor::Start() {
-  bool expected = false;
-  if (!running_.compare_exchange_strong(expected, true)) return;
+  std::lock_guard<std::mutex> lock(lifecycle_mu_);
+  if (thread_.joinable()) return;  // already running
+  running_.store(true, std::memory_order_release);
   thread_ = std::thread([this] { Loop(); });
 }
 
 void ContinuousMonitor::Stop() {
-  if (!running_.exchange(false)) return;
-  if (thread_.joinable()) thread_.join();
+  std::lock_guard<std::mutex> lock(lifecycle_mu_);
+  running_.store(false, std::memory_order_release);
+  if (thread_.joinable()) {
+    thread_.join();
+    thread_ = std::thread();  // allow a later Start() to restart
+  }
 }
 
 void ContinuousMonitor::Loop() {

@@ -19,6 +19,7 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <mutex>
 #include <thread>
 
 #include "core/counter.h"
@@ -52,11 +53,15 @@ class ContinuousMonitor {
 
   COTS_DISALLOW_COPY_AND_ASSIGN(ContinuousMonitor);
 
-  /// Starts the monitor thread. No-op if already running.
+  /// Starts the monitor thread. No-op if already running. Serialized with
+  /// Stop(): concurrent Start/Stop calls resolve to a consistent state with
+  /// the thread either running-and-joinable or fully joined — never spawned
+  /// and forgotten.
   void Start();
 
-  /// Stops and joins the monitor thread. Safe to call repeatedly; the
-  /// destructor calls it.
+  /// Stops and joins the monitor thread. Safe to call repeatedly and
+  /// concurrently (with Stop or Start); the destructor calls it, so the
+  /// monitor never outlives the summary it reads.
   void Stop();
 
   uint64_t queries_fired() const {
@@ -69,6 +74,11 @@ class ContinuousMonitor {
   const FrequencySummary* summary_;
   ContinuousMonitorOptions options_;
   Callback callback_;
+  /// Serializes Start/Stop. Without it, a Stop racing a Start could observe
+  /// running_ before the thread was assigned and return without joining —
+  /// leaving a live thread reading a summary that may be destructed next
+  /// (and std::terminate when the unjoined std::thread died).
+  std::mutex lifecycle_mu_;
   std::atomic<bool> running_{false};
   std::atomic<uint64_t> fired_{0};
   std::thread thread_;

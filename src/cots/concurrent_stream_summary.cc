@@ -7,6 +7,7 @@
 #include <cstdlib>
 #include <thread>
 
+#include "util/failpoint.h"
 #include "util/metrics.h"
 #include "util/spinlock.h"
 
@@ -74,7 +75,7 @@ void ConcurrentStreamSummary::AttachNode(FreqBucket* bucket,
   node->next.store(head, std::memory_order_relaxed);
   if (head != nullptr) head->prev = node;
   bucket->head.store(node, std::memory_order_release);
-  ++bucket->size;
+  RelaxedFieldAdd(bucket->size, 1);
 }
 
 void ConcurrentStreamSummary::DetachNode(FreqBucket* bucket,
@@ -90,7 +91,7 @@ void ConcurrentStreamSummary::DetachNode(FreqBucket* bucket,
   node->prev = nullptr;
   node->next.store(nullptr, std::memory_order_relaxed);
   node->bucket = nullptr;
-  --bucket->size;
+  RelaxedFieldAdd(bucket->size, -1);
 }
 
 FreqBucket* ConcurrentStreamSummary::FirstLiveBucket() const {
@@ -132,6 +133,7 @@ void ConcurrentStreamSummary::TryCleanHead(WorkContext* ctx) {
 
 void ConcurrentStreamSummary::Dispatch(const Request& request,
                                        WorkContext* ctx) {
+  COTS_FAILPOINT("summary.dispatch");
   switch (request.kind) {
     case Request::Kind::kAdd: {
       // New elements and re-routed placements enter through the sentinel,
@@ -166,49 +168,26 @@ void ConcurrentStreamSummary::Dispatch(const Request& request,
       return;
     }
     case Request::Kind::kOverwrite: {
-      // Route to the first live bucket — the minimum, where Space Saving
-      // evicts. Do NOT try to be smarter and skip buckets that look empty:
-      // `head` (and `size`) are only readable exactly from under the hold,
-      // and a minimum bucket looks transiently empty whenever its holder
-      // has nodes detached mid-move. Skipping it evicts from a higher
-      // bucket, and a victim evicted with estimate f_hi that later
-      // re-enters seeds from the then-minimum f_lo < f_hi — silently
-      // breaking the count >= truth guarantee. Empty buckets instead park
-      // the request and forward it after they CLOSE (see TryProcessBucket),
-      // at which point the gc check below stops routing anything new their
-      // way.
-      for (uint64_t spins = 0;; ++spins) {
-        // Watchdog: this loop retries a handful of times in practice; tens
-        // of millions of iterations means a liveness bug, and aborting
-        // with a message beats silently burning a core.
-        if (spins == 10'000'000) {
-          std::fprintf(stderr,
-                       "cots: overwrite dispatch livelock (no live victim "
-                       "bucket found)\n");
-          std::abort();
-        }
-        TryCleanHead(ctx);
-        FreqBucket* min = nullptr;
-        for (FreqBucket* b = sentinel_->next.load(std::memory_order_acquire);
-             b != nullptr; b = b->next.load(std::memory_order_acquire)) {
-          if (b->gc.load(std::memory_order_acquire)) continue;
-          min = b;
-          break;
-        }
-        // Overwrites only exist once capacity is reached, so a live bucket
-        // exists somewhere; a transiently empty view retries.
-        if (min != nullptr && min == ctx->holding) {
-          ctx->batch.push_back(request);
-          return;
-        }
-        if (min != nullptr && min->queue.TryEnqueue(request)) {
-          ctx->work.push_back(min);
-          return;
-        }
-        // The list head is transiently mid-GC; give other threads the CPU.
-        CpuRelax();
-        std::this_thread::yield();
+      // Evicting is sound only at the global minimum, and "which bucket is
+      // the minimum" is only stable under the sentinel hold: a bucket below
+      // the current first live one can only ever be linked at the edge of a
+      // held live bucket with a smaller frequency — and below the minimum
+      // the only such bucket is the sentinel itself. Any min-finding walk
+      // done without that hold races with insertion and can evict from a
+      // non-minimum bucket; a victim evicted there with estimate f_hi that
+      // later re-enters seeds from the then-minimum f_lo < f_hi, silently
+      // breaking count >= truth. So overwrites are combined at the sentinel
+      // (whose queue never closes) and served by its holder, which acquires
+      // the true minimum bucket and evicts there (DESIGN.md §8.3).
+      if (sentinel_ == ctx->holding) {
+        ctx->batch.push_back(request);
+        return;
       }
+      const bool ok = sentinel_->queue.TryEnqueue(request);
+      assert(ok);
+      (void)ok;
+      ctx->work.push_back(sentinel_);
+      return;
     }
     case Request::Kind::kEvict:
       // Evictions are enqueued per-bucket by EvictUpTo, never dispatched.
@@ -233,14 +212,20 @@ void ConcurrentStreamSummary::Complete(SummaryNode* node, uint64_t token,
     Dispatch(follow_up, ctx);
     return;
   }
-  // Fully released. If the bucket where the element now rests has queued
-  // or parked requests (deferred overwrites waiting for exactly this
-  // release), make sure somebody revisits it.
-  FreqBucket* bucket = node->bucket;
-  if (bucket != nullptr &&
-      (!bucket->queue.empty() ||
-       bucket->parked_count.load(std::memory_order_acquire) > 0)) {
-    ctx->work.push_back(bucket);
+  // Fully released. Re-nudge the sentinel if overwrites are parked there:
+  // a parked overwrite is waiting for some busy victim candidate (possibly
+  // this element) to be released, and the sentinel's parked list is the
+  // ONLY place deferred work lives without a live owner (every dispatch
+  // site asserts kOverwrite routes to the sentinel). Queued requests need
+  // no nudge — every TryEnqueue is followed by the enqueuer's own
+  // TryProcessBucket attempt, and the holder rechecks the queue after
+  // releasing. Deliberately do NOT touch node->bucket here: after the
+  // element's last release another owner may relocate the node, and a
+  // stale bucket pointer can reference memory already reclaimed and
+  // recycled by EBR (our epoch guard only protects buckets retired after
+  // the guard began, not arbitrarily old ones).
+  if (sentinel_->parked_count.load(std::memory_order_acquire) > 0) {
+    ctx->work.push_back(sentinel_);
   }
 }
 
@@ -329,66 +314,117 @@ bool ConcurrentStreamSummary::ProcessRequest(FreqBucket* bucket,
       SummaryNode* node = static_cast<SummaryNode*>(request.node);
       assert(node->bucket == bucket);
       DetachNode(bucket, node);
-      node->freq += request.delta;
+      RelaxedFieldStore(node->freq, node->freq + request.delta);
       if (PlaceNode(bucket, node, request.token, ctx)) {
         Complete(node, request.token, ctx);
       }
       return true;
     }
     case Request::Kind::kOverwrite: {
-      // If this bucket stopped being the minimum (a lower bucket appeared),
-      // keep the eviction tight by re-routing to the real minimum — but at
-      // most once: under churn the minimum moves constantly and an
-      // uncapped chase livelocks (the re-routed request lands in a bucket
-      // that dies before it is processed, forever).
-      // The hop budget is strictly monotone per request: resetting it on
-      // any retry lets two parked overwrites regenerate each other's
-      // budgets and ping-pong forever. After kMaxReroutes the request
-      // settles wherever it is and evicts locally once a victim frees —
-      // a looser error seed, but every Space Saving bound still holds.
-      constexpr uint8_t kMaxReroutes = 3;
-      FreqBucket* min = FirstLiveBucket();
-      if (min != nullptr && min != bucket && min->freq < bucket->freq &&
-          request.reroutes < kMaxReroutes) {
-        COTS_COUNTER_INC("summary.overwrite_reroutes");
-        Request rerouted = request;
-        rerouted.reroutes = static_cast<uint8_t>(request.reroutes + 1);
-        Dispatch(rerouted, ctx);
-        return true;
-      }
-      // Note: unlike Algorithm 6's deferAllOverwrites flag, retries always
-      // rescan. The flag would have to be cleared on *every* event that can
-      // free a victim; missing one (e.g. an increment processed before the
-      // parked overwrite was re-injected) strands the overwrite forever.
-      // A scan of the minimum bucket is cheap; correctness is not.
-      {
-        for (SummaryNode* victim = bucket->head.load(std::memory_order_relaxed);
+      // Overwrites are only ever served under the sentinel hold (Dispatch
+      // routes every one of them here). That hold is what makes the
+      // eviction sound: a bucket below the first live one can only be
+      // linked at the sentinel's edge — by the sentinel's holder, i.e. by
+      // us — so for as long as we hold the sentinel the first live bucket
+      // IS the global minimum, not a racy guess at it (DESIGN.md §8.3).
+      assert(bucket == sentinel_);
+      for (;;) {
+        FreqBucket* min = nullptr;
+        for (FreqBucket* b = sentinel_->next.load(std::memory_order_acquire);
+             b != nullptr; b = b->next.load(std::memory_order_acquire)) {
+          if (!b->gc.load(std::memory_order_acquire)) {
+            min = b;
+            break;
+          }
+        }
+        if (min == nullptr) {
+          // Every monitored node is mid-relocation (their buckets died
+          // under them). The relocations terminate by re-entering the
+          // list; park until one does.
+          COTS_COUNTER_INC("summary.overwrite_parked");
+          stats_.overwrites_deferred.fetch_add(1, std::memory_order_relaxed);
+          ctx->deferred.push_back(request);
+          return false;
+        }
+        if (COTS_FAILPOINT_TRIGGERED("summary.force_overwrite_defer") ||
+            min->held.exchange(true, std::memory_order_acquire)) {
+          // The minimum bucket is busy. Never block while holding the
+          // sentinel and never settle for a non-minimum victim: park the
+          // request for retry. Every operation completion re-nudges the
+          // sentinel when overwrites are parked here (see Complete), so
+          // the park cannot strand.
+          COTS_COUNTER_INC("summary.overwrite_parked");
+          stats_.overwrites_deferred.fetch_add(1, std::memory_order_relaxed);
+          ctx->deferred.push_back(request);
+          return false;
+        }
+        // Holding sentinel + min. Note: unlike Algorithm 6's
+        // deferAllOverwrites flag, retries always rescan. The flag would
+        // have to be cleared on *every* event that can free a victim;
+        // missing one (e.g. an increment processed before the parked
+        // overwrite was re-injected) strands the overwrite forever.
+        // A scan of the minimum bucket is cheap; correctness is not.
+        for (SummaryNode* victim = min->head.load(std::memory_order_relaxed);
              victim != nullptr;
              victim = victim->next.load(std::memory_order_relaxed)) {
           if (!table_->TryRemove(victim->entry, ctx->participant)) {
-            continue;  // busy: its increment is already queued our way
+            continue;  // busy: its in-flight operation will renudge us
           }
           // Victim secured: recycle its node for the arriving element
-          // (Algorithm 6). The victim's count becomes the newcomer's error.
-          COTS_HISTOGRAM_RECORD("summary.overwrite_hops", request.reroutes);
-          DetachNode(bucket, victim);
-          auto* entry = static_cast<DelegationHashTable::Entry*>(request.entry);
-          victim->key = request.key;
-          victim->error = bucket->freq;
-          victim->freq = bucket->freq + request.delta;
+          // (Algorithm 6). The victim's count becomes the newcomer's
+          // error. The rewrite happens inside min's seqlock write window
+          // so snapshot readers never see a half-recycled node.
+          min->version.fetch_add(1, std::memory_order_acq_rel);
+          DetachNode(min, victim);
+          auto* entry =
+              static_cast<DelegationHashTable::Entry*>(request.entry);
+          RelaxedFieldStore(victim->key, request.key);
+          RelaxedFieldStore(victim->error, min->freq);
+          RelaxedFieldStore(victim->freq, min->freq + request.delta);
           victim->entry = entry;
           entry->node.store(victim, std::memory_order_release);
-          if (PlaceNode(bucket, victim, request.token, ctx)) {
-            Complete(victim, request.token, ctx);
+          min->version.fetch_add(1, std::memory_order_release);
+          const bool placed = PlaceNode(min, victim, request.token, ctx);
+          // Close min if the eviction emptied it, exactly as a normal hold
+          // would (close-before-release keeps the walk above O(live)).
+          if (min->size == 0 && !min->gc.load(std::memory_order_relaxed) &&
+              min->queue.CloseIfEmpty()) {
+            min->gc.store(true, std::memory_order_release);
           }
+          min->held.store(false, std::memory_order_release);
+          // Post-release contract: requests enqueued at min while we held
+          // it are ours to revisit.
+          if (!min->queue.empty()) ctx->work.push_back(min);
+          if (placed) Complete(victim, request.token, ctx);
           return true;
         }
+        if (min->head.load(std::memory_order_relaxed) == nullptr) {
+          // The minimum bucket is empty (its last node is relocating).
+          // Close it if possible and retry the walk past it; otherwise its
+          // queued work will repopulate or kill it — park until then.
+          bool closed = false;
+          if (!min->gc.load(std::memory_order_relaxed) &&
+              min->queue.CloseIfEmpty()) {
+            min->gc.store(true, std::memory_order_release);
+            closed = true;
+          }
+          min->held.store(false, std::memory_order_release);
+          if (!min->queue.empty()) ctx->work.push_back(min);
+          if (closed) continue;
+          COTS_COUNTER_INC("summary.overwrite_parked");
+          stats_.overwrites_deferred.fetch_add(1, std::memory_order_relaxed);
+          ctx->deferred.push_back(request);
+          return false;
+        }
+        // No candidate can be overwritten: every element here has an
+        // operation in flight. Defer until one of those operations lands.
+        min->held.store(false, std::memory_order_release);
+        if (!min->queue.empty()) ctx->work.push_back(min);
+        COTS_COUNTER_INC("summary.overwrite_parked");
+        stats_.overwrites_deferred.fetch_add(1, std::memory_order_relaxed);
+        ctx->deferred.push_back(request);
+        return false;
       }
-      // No candidate can be overwritten: every element here has an
-      // operation in flight. Defer until one of those operations lands.
-      stats_.overwrites_deferred.fetch_add(1, std::memory_order_relaxed);
-      ctx->deferred.push_back(request);
-      return false;
     }
     case Request::Kind::kEvict: {
       // Round-boundary eviction (Lossy Counting adaptation, Section 5.3):
@@ -431,6 +467,7 @@ void ConcurrentStreamSummary::TryProcessBucket(FreqBucket* bucket,
     }
     ctx->holding = bucket;
     bool retried_parked = false;
+    bool mutating = false;
     for (;;) {
       ctx->batch.clear();
       const size_t drained = bucket->queue.DrainTo(&ctx->batch);
@@ -451,6 +488,14 @@ void ConcurrentStreamSummary::TryProcessBucket(FreqBucket* bucket,
       }
       retried_parked = true;
       if (ctx->batch.empty()) break;
+      if (!mutating) {
+        // Open the seqlock write window (odd) before the first mutation of
+        // this hold; the acq_rel increment keeps the mutations below from
+        // reordering above it. Holds that drain nothing never bump the
+        // version, so idle revisits do not disturb snapshot readers.
+        mutating = true;
+        bucket->version.fetch_add(1, std::memory_order_acq_rel);
+      }
       ctx->deferred.clear();
       // Index loop, and the request is copied out: ProcessRequest may
       // splice follow-up work for this very bucket onto the end of the
@@ -473,6 +518,13 @@ void ConcurrentStreamSummary::TryProcessBucket(FreqBucket* bucket,
     // Past this point every Dispatch must go through the queues again (the
     // batch loop is done; splicing would strand requests).
     ctx->holding = nullptr;
+    if (mutating) {
+      // Close the seqlock write window (back to even): the release pairs
+      // with the reader's validation load, so a reader that sees the even
+      // version also sees every mutation of this hold.
+      bucket->version.fetch_add(1, std::memory_order_release);
+    }
+    COTS_FAILPOINT("summary.bucket_close");
     // Close before forwarding, never the other way around. Parked
     // overwrites at an empty bucket must travel to a live victim source,
     // but forwarding from a bucket that is still OPEN let two empty
@@ -491,6 +543,7 @@ void ConcurrentStreamSummary::TryProcessBucket(FreqBucket* bucket,
     }
     if (bucket->gc.load(std::memory_order_relaxed) &&
         !bucket->parked.empty()) {
+      COTS_FAILPOINT("summary.orphan_forward");
       std::vector<Request> orphans;
       orphans.swap(bucket->parked);
       bucket->parked_count.store(0, std::memory_order_release);
@@ -584,16 +637,36 @@ void ConcurrentStreamSummary::SweepStranded(EpochParticipant* participant) {
   WorkContext ctx;
   ctx.participant = participant;
   EpochGuard guard(participant);
-  TryCleanHead(&ctx);
-  for (FreqBucket* b = sentinel_->next.load(std::memory_order_acquire);
-       b != nullptr; b = b->next.load(std::memory_order_acquire)) {
-    if (b->gc.load(std::memory_order_acquire)) continue;
-    if (!b->queue.empty() ||
-        b->parked_count.load(std::memory_order_acquire) > 0) {
-      ctx.work.push_back(b);
+  // One pass is not enough: processing a parked overwrite can re-park it
+  // (its victim bucket was transiently busy), and with no other thread
+  // left to nudge the sentinel the re-park would strand. So keep sweeping
+  // while overwrites remain parked — that is the only work without a live
+  // owner (queued requests are always retried by their enqueuer, and live
+  // threads re-nudge the parked set from Complete). With no concurrent
+  // producers the pending set strictly shrinks, so the loop terminates.
+  for (;;) {
+    TryCleanHead(&ctx);
+    // The sentinel's queue and parked list can hold stranded work too:
+    // new-element adds and every overwrite route through it.
+    if (!sentinel_->queue.empty() ||
+        sentinel_->parked_count.load(std::memory_order_acquire) > 0) {
+      ctx.work.push_back(sentinel_);
     }
+    for (FreqBucket* b = sentinel_->next.load(std::memory_order_acquire);
+         b != nullptr; b = b->next.load(std::memory_order_acquire)) {
+      if (b->gc.load(std::memory_order_acquire)) continue;
+      if (!b->queue.empty() ||
+          b->parked_count.load(std::memory_order_acquire) > 0) {
+        ctx.work.push_back(b);
+      }
+    }
+    if (ctx.work.empty()) return;
+    ProcessWork(&ctx);
+    if (sentinel_->parked_count.load(std::memory_order_acquire) == 0) {
+      return;
+    }
+    std::this_thread::yield();
   }
-  ProcessWork(&ctx);
 }
 
 std::vector<Counter> ConcurrentStreamSummary::CountersDescending(
@@ -601,27 +674,84 @@ std::vector<Counter> ConcurrentStreamSummary::CountersDescending(
   EpochGuard guard(participant);
   std::vector<Counter> out;
   out.reserve(std::min(capacity_, size_t{65536}));
-  // Defensive bounds: concurrent relocation can make a racy traversal
-  // wander; the structure never exceeds capacity live nodes.
+  // Defensive bounds: concurrent relocation can make a traversal wander;
+  // the structure never exceeds capacity live nodes.
   const size_t node_limit =
       always_admit_ ? ~size_t{0} : capacity_ * 2 + 64;
-  for (FreqBucket* b = sentinel_->next.load(std::memory_order_acquire);
-       b != nullptr && out.size() < node_limit;
-       b = b->next.load(std::memory_order_acquire)) {
-    if (b->gc.load(std::memory_order_acquire)) continue;
+  // Per-bucket read lease attempts before falling back to a lease-less
+  // walk; keeps the reader wait-bounded under sustained mutation.
+  constexpr int kLeaseRetries = 8;
+  auto walk = [&](const FreqBucket* b) {
     size_t steps = 0;
     for (SummaryNode* n = b->head.load(std::memory_order_acquire);
          n != nullptr && steps < node_limit;
          n = n->next.load(std::memory_order_acquire), ++steps) {
-      out.push_back(Counter{n->key, n->freq, n->error});
+      // Acquire field loads keep the validation read below ordered after
+      // the segment reads without an atomic_thread_fence (see the helper).
+      out.push_back(Counter{AcquireFieldLoad(n->key),
+                            AcquireFieldLoad(n->freq),
+                            AcquireFieldLoad(n->error)});
+    }
+  };
+  for (FreqBucket* b = sentinel_->next.load(std::memory_order_acquire);
+       b != nullptr && out.size() < node_limit;
+       b = b->next.load(std::memory_order_acquire)) {
+    if (b->gc.load(std::memory_order_acquire)) continue;
+    // Seqlock read lease: walk only while the version is even, and accept
+    // the segment only if the version did not move — the segment then
+    // matches a state the bucket actually passed through.
+    const size_t mark = out.size();
+    for (int attempt = 0;; ++attempt) {
+      const uint64_t v1 = b->version.load(std::memory_order_acquire);
+      if ((v1 & 1) == 0) {
+        walk(b);
+        // Fence-free seqlock validation: the segment was read with acquire
+        // loads, so this check cannot be reordered before any of them.
+        if (b->version.load(std::memory_order_relaxed) == v1) break;
+      }
+      out.resize(mark);  // torn segment: roll back this bucket and retry
+      if (attempt >= kLeaseRetries) {
+        // Bucket under sustained mutation: one lease-less walk (every read
+        // is still atomic — per-field values, not torn bytes) beats making
+        // the reader wait unboundedly.
+        COTS_COUNTER_INC("summary.snapshot_fallbacks");
+        walk(b);
+        break;
+      }
+      COTS_COUNTER_INC("summary.snapshot_retries");
+      std::this_thread::yield();
     }
   }
+  // Each bucket's segment is internally consistent, but an element that
+  // relocated mid-walk can appear in two segments (old and new frequency).
+  // Keep the higher estimate so each key maps to exactly one counter.
+  std::sort(out.begin(), out.end(), [](const Counter& a, const Counter& b) {
+    if (a.key != b.key) return a.key < b.key;
+    return a.count > b.count;
+  });
+  out.erase(std::unique(out.begin(), out.end(),
+                        [](const Counter& a, const Counter& b) {
+                          return a.key == b.key;
+                        }),
+            out.end());
   // Ascending bucket order; flip and order ties deterministically.
   std::sort(out.begin(), out.end(), [](const Counter& a, const Counter& b) {
     if (a.count != b.count) return a.count > b.count;
     return a.key < b.key;
   });
   return out;
+}
+
+bool ConcurrentStreamSummary::Quiescent(EpochParticipant* participant) const {
+  EpochGuard guard(participant);
+  for (FreqBucket* b = sentinel_; b != nullptr;
+       b = b->next.load(std::memory_order_acquire)) {
+    if (b->held.load(std::memory_order_acquire)) return false;
+    if (b->gc.load(std::memory_order_acquire)) continue;  // closed == empty
+    if (!b->queue.empty()) return false;
+    if (b->parked_count.load(std::memory_order_acquire) != 0) return false;
+  }
+  return true;
 }
 
 size_t ConcurrentStreamSummary::ApproxQueueDepth(
@@ -662,16 +792,16 @@ void ConcurrentStreamSummary::DumpState(std::FILE* out,
     std::fprintf(out,
                  "  [%3d] freq=%llu size=%zu queue=%zu parked=%zu held=%d "
                  "gc=%d closed=%d",
-                 i, static_cast<unsigned long long>(b->freq), b->size,
-                 b->queue.size(),
+                 i, static_cast<unsigned long long>(b->freq),
+                 RelaxedSizeLoad(b->size), b->queue.size(),
                  b->parked_count.load(std::memory_order_relaxed),
                  b->held.load() ? 1 : 0, b->gc.load() ? 1 : 0,
                  b->queue.closed() ? 1 : 0);
     SummaryNode* head = b->head.load(std::memory_order_acquire);
     if (head != nullptr && head->entry != nullptr) {
       std::fprintf(out, " | head key=%llu freq=%llu state=%llx",
-                   static_cast<unsigned long long>(head->key),
-                   static_cast<unsigned long long>(head->freq),
+                   static_cast<unsigned long long>(RelaxedFieldLoad(head->key)),
+                   static_cast<unsigned long long>(RelaxedFieldLoad(head->freq)),
                    static_cast<unsigned long long>(
                        head->entry->state.load(std::memory_order_relaxed)));
     }

@@ -36,6 +36,7 @@
 #define COTS_COTS_CONCURRENT_STREAM_SUMMARY_H_
 
 #include <atomic>
+#include <cstddef>
 #include <cstdint>
 #include <cstdio>
 #include <string>
@@ -52,10 +53,45 @@ namespace cots {
 
 struct FreqBucket;
 
+/// Shared-field access discipline: a node's key/freq/error and a bucket's
+/// size are written only by the holder of the relevant bucket, but are read
+/// concurrently by lock-free queries (CountersDescending, Lookup,
+/// DumpState). Those racing accesses go through std::atomic_ref so the race
+/// is a defined relaxed-atomic one — per-field tearing is impossible, and
+/// the per-bucket seqlock (FreqBucket::version) provides cross-field
+/// consistency for snapshot readers. Holder-side reads of holder-written
+/// fields stay plain: successive holders synchronize through the bucket's
+/// held flag (and element owners through the hash entry's state word).
+inline void RelaxedFieldStore(uint64_t& field, uint64_t value) {
+  std::atomic_ref<uint64_t>(field).store(value, std::memory_order_relaxed);
+}
+inline uint64_t RelaxedFieldLoad(const uint64_t& field) {
+  return std::atomic_ref<uint64_t>(const_cast<uint64_t&>(field))
+      .load(std::memory_order_relaxed);
+}
+/// Acquire flavour for the seqlock read protocol: an acquire load cannot
+/// have later loads hoisted above it, so a subsequent relaxed read of the
+/// bucket version is ordered after every segment read — the fence-free
+/// seqlock reader (GCC's TSan cannot instrument atomic_thread_fence, and
+/// the suite runs with zero suppressions). Same codegen as relaxed on x86.
+inline uint64_t AcquireFieldLoad(const uint64_t& field) {
+  return std::atomic_ref<uint64_t>(const_cast<uint64_t&>(field))
+      .load(std::memory_order_acquire);
+}
+inline void RelaxedFieldAdd(size_t& field, std::ptrdiff_t delta) {
+  std::atomic_ref<size_t>(field).fetch_add(static_cast<size_t>(delta),
+                                           std::memory_order_relaxed);
+}
+inline size_t RelaxedSizeLoad(const size_t& field) {
+  return std::atomic_ref<size_t>(const_cast<size_t&>(field))
+      .load(std::memory_order_relaxed);
+}
+
 /// One monitored element inside the Concurrent Stream Summary. Mutated only
 /// by the thread that currently owns the element (Invariant 5.1) while it
 /// holds the relevant bucket; `next` and the bucket head are atomic so
-/// lock-free query traversals read coherent pointers.
+/// lock-free query traversals read coherent pointers. key/freq/error are
+/// written via RelaxedFieldStore (see above).
 struct SummaryNode {
   ElementId key = 0;
   uint64_t freq = 0;
@@ -75,6 +111,12 @@ struct FreqBucket {
   std::atomic<FreqBucket*> next{nullptr};
   std::atomic<bool> held{false};
   std::atomic<bool> gc{false};
+  /// Element-list seqlock: odd while the holder mutates the list or its
+  /// nodes' counters, bumped to even before the hold is released. Snapshot
+  /// readers retry a bucket whose version is odd or moved mid-walk, which
+  /// makes each bucket's segment of the snapshot internally consistent
+  /// (see CountersDescending for the resulting staleness bound).
+  std::atomic<uint64_t> version{0};
   RequestQueue queue;
   // Element list; written only by the holder, read (atomics) by queries.
   std::atomic<SummaryNode*> head{nullptr};
@@ -171,10 +213,24 @@ class ConcurrentStreamSummary {
   /// always means fully drained.
   void SweepStranded(EpochParticipant* participant);
 
-  /// Lock-free snapshot for queries, most frequent first. Concurrent
-  /// updates can make the snapshot slightly torn (this is the paper's
-  /// read model); on a quiescent structure it is exact.
+  /// Lock-free snapshot for queries, most frequent first; exact on a
+  /// quiescent structure. Staleness bound under concurrency (the paper's
+  /// read model, made precise): each bucket's segment is read under that
+  /// bucket's seqlock, so it reflects a state the bucket actually passed
+  /// through; an element relocating between buckets during the walk is
+  /// reported at its old or its new frequency (post-walk dedup keeps the
+  /// higher estimate, each key at most once), and an element admitted or
+  /// evicted mid-walk may be missing. Every reported count is one the
+  /// element genuinely held during the call — never a torn value. A bucket
+  /// under sustained mutation is retried a few times, then read without
+  /// the lease (counted as "summary.snapshot_fallbacks").
   std::vector<Counter> CountersDescending(EpochParticipant* participant) const;
+
+  /// True when no delegated work remains anywhere: every bucket (sentinel
+  /// included) unheld, queues empty, no parked overwrites. With no
+  /// concurrent producers the answer is stable; the engine's Stop() polls
+  /// this after in-flight offers reach zero.
+  bool Quiescent(EpochParticipant* participant) const;
 
   /// Number of admitted counters (monotone up to capacity).
   size_t num_monitored() const {

@@ -2,8 +2,33 @@
 
 #include <cassert>
 #include <cmath>
+#include <thread>
+
+#include "util/failpoint.h"
 
 namespace cots {
+
+namespace {
+
+/// Brackets one offer for Stop()'s quiescence protocol. The entry increment
+/// is seq_cst: paired with the offer's subsequent state check and Stop()'s
+/// seq_cst Draining-store / inflight-load, it forms a Dekker handshake —
+/// either the offer observes Draining and refuses without mutating, or
+/// Stop() observes the increment and waits the offer out. The release on
+/// exit pairs with Stop()'s acquire load so every effect of completed
+/// offers is visible to its sweep.
+class InflightScope {
+ public:
+  explicit InflightScope(std::atomic<uint64_t>* counter) : counter_(counter) {
+    counter_->fetch_add(1, std::memory_order_seq_cst);
+  }
+  ~InflightScope() { counter_->fetch_sub(1, std::memory_order_release); }
+
+ private:
+  std::atomic<uint64_t>* counter_;
+};
+
+}  // namespace
 
 Status CotsSpaceSavingOptions::Validate() {
   if (capacity == 0) {
@@ -39,22 +64,82 @@ ConcurrentStreamSummaryOptions SummaryOptions(
   return sopt;
 }
 
+// The engine must never be built from a raw, unvalidated options struct: a
+// zero capacity (assert compiled out) means TryAdmit never succeeds, every
+// new element becomes an overwrite with no bucket to evict from, and the
+// unserviceable parked request spins Stop() — and the destructor — forever.
+// Validate on a copy so epsilon-only configs work without the explicit
+// call; if validation still fails (debug builds assert first), clamp to
+// the smallest functional engine rather than hang teardown.
+CotsSpaceSavingOptions ValidatedOptions(CotsSpaceSavingOptions options) {
+  const Status status = options.Validate();
+  assert(status.ok() && "invalid CotsSpaceSavingOptions");
+  (void)status;
+  if (options.capacity == 0) options.capacity = 1;
+  if (options.hash_buckets == 0) options.hash_buckets = options.capacity * 4;
+  if (options.hash_block_entries == 0 || options.hash_block_entries > 64) {
+    options.hash_block_entries = 2;
+  }
+  if (options.max_threads <= 1) options.max_threads = 2;
+  return options;
+}
+
 }  // namespace
 
 CotsSpaceSaving::CotsSpaceSaving(const CotsSpaceSavingOptions& options)
+    : CotsSpaceSaving(ValidatedOptions(options), ValidatedTag{}) {}
+
+CotsSpaceSaving::CotsSpaceSaving(const CotsSpaceSavingOptions& options,
+                                 ValidatedTag)
     : epochs_(options.max_threads),
       table_(TableOptions(options), &epochs_),
       summary_(SummaryOptions(options), &table_, &epochs_) {
-  assert(options.capacity > 0 && "Validate() the options first");
+  assert(options.capacity > 0);
   query_participant_ = epochs_.Register();
   assert(query_participant_ != nullptr);
 }
 
 CotsSpaceSaving::~CotsSpaceSaving() {
+  // Quiesce before any member is torn down: no delegated work may be in a
+  // queue, parked, or mid-processing while the structures destruct.
+  Stop();
   if (query_participant_ != nullptr) epochs_.Unregister(query_participant_);
   // Retired hash slots and buckets carry deleters that touch table_ and
   // summary_ memory; run them while that memory is still alive.
   epochs_.DrainAll();
+}
+
+void CotsSpaceSaving::Stop() {
+  EngineState expected = EngineState::kRunning;
+  // seq_cst: the Draining store must be globally ordered against every
+  // offer's InflightScope increment + state check (Dekker handshake; see
+  // InflightScope).
+  if (!state_.compare_exchange_strong(expected, EngineState::kDraining,
+                                      std::memory_order_seq_cst)) {
+    // Another thread won the transition (or Stop already completed): wait
+    // until the structure is frozen so every caller returns post-quiesce.
+    while (state_.load(std::memory_order_acquire) != EngineState::kStopped) {
+      std::this_thread::yield();
+    }
+    return;
+  }
+  COTS_FAILPOINT("engine.teardown");
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lock(query_mu_);
+      summary_.SweepStranded(query_participant_);
+    }
+    // Order matters: only after in-flight offers reach zero can a clean
+    // quiescence scan be trusted — an offer that has Delegated but not yet
+    // enqueued is invisible to the scan. seq_cst pairs with InflightScope:
+    // an offer we miss here is one that will observe Draining and refuse.
+    if (inflight_offers_.load(std::memory_order_seq_cst) == 0) {
+      std::lock_guard<std::mutex> lock(query_mu_);
+      if (summary_.Quiescent(query_participant_)) break;
+    }
+    std::this_thread::yield();
+  }
+  state_.store(EngineState::kStopped, std::memory_order_release);
 }
 
 std::unique_ptr<CotsSpaceSaving::ThreadHandle> CotsSpaceSaving::RegisterThread() {
@@ -70,11 +155,20 @@ CotsSpaceSaving::ThreadHandle::~ThreadHandle() {
   engine_->epochs_.Unregister(participant_);
 }
 
-void CotsSpaceSaving::ThreadHandle::Offer(ElementId e, uint64_t weight) {
+bool CotsSpaceSaving::ThreadHandle::Offer(ElementId e, uint64_t weight) {
   assert(weight > 0);
+  InflightScope inflight(&engine_->inflight_offers_);
+  // Checked only after the inflight increment (Dekker): seeing kRunning
+  // here guarantees Stop()'s inflight wait sees us and blocks until this
+  // offer fully lands.
+  if (engine_->state_.load(std::memory_order_seq_cst) !=
+      EngineState::kRunning) {
+    return false;
+  }
   engine_->n_.fetch_add(weight, std::memory_order_relaxed);
   EpochGuard guard(participant_);
   OfferGuarded(e, weight);
+  return true;
 }
 
 namespace {
@@ -97,10 +191,17 @@ inline size_t RoundUpPowerOfTwo(size_t v) {
 
 }  // namespace
 
-void CotsSpaceSaving::ThreadHandle::OfferBatch(
+bool CotsSpaceSaving::ThreadHandle::OfferBatch(
     const ElementId* elements, size_t count,
     const BatchIngestOptions& options) {
-  if (count == 0) return;
+  if (count == 0) return true;
+  InflightScope inflight(&engine_->inflight_offers_);
+  // Same Dekker handshake as Offer: the whole batch is refused atomically
+  // once Stop() has begun, so a batch is never half-counted.
+  if (engine_->state_.load(std::memory_order_seq_cst) !=
+      EngineState::kRunning) {
+    return false;
+  }
   engine_->n_.fetch_add(count, std::memory_order_relaxed);
   EpochGuard guard(participant_);
 
@@ -114,7 +215,7 @@ void CotsSpaceSaving::ThreadHandle::OfferBatch(
       }
       OfferGuarded(elements[i], 1);
     }
-    return;
+    return true;
   }
 
   // Coalesce duplicate keys inside the batch window into (key, weight)
@@ -157,6 +258,7 @@ void CotsSpaceSaving::ThreadHandle::OfferBatch(
     }
     OfferGuarded(coalesced_[i].first, coalesced_[i].second);
   }
+  return true;
 }
 
 void CotsSpaceSaving::ThreadHandle::OfferGuarded(ElementId e,
@@ -205,7 +307,10 @@ std::optional<Counter> CotsSpaceSaving::LookupWith(
   if (entry == nullptr) return std::nullopt;
   SummaryNode* node = entry->node.load(std::memory_order_acquire);
   if (node == nullptr) return std::nullopt;  // first placement in flight
-  return Counter{e, node->freq, node->error};
+  // Atomic field reads: the node may be mid-relocation. The pair can be a
+  // step stale (count and error from adjacent states of an in-flight
+  // operation), but each value is one the node genuinely held.
+  return Counter{e, RelaxedFieldLoad(node->freq), RelaxedFieldLoad(node->error)};
 }
 
 std::optional<Counter> CotsSpaceSaving::ThreadHandle::Lookup(

@@ -56,6 +56,12 @@ struct BatchIngestOptions {
   bool coalesce = true;
 };
 
+/// Engine lifecycle (DESIGN.md §8). Running: normal ingest and queries.
+/// Draining: Stop() is quiescing — offers already in flight finish and
+/// their delegated work drains. Stopped: the structure is frozen; offering
+/// is illegal, queries stay valid until destruction.
+enum class EngineState : uint8_t { kRunning, kDraining, kStopped };
+
 struct CotsSpaceSavingOptions {
   /// Monitored counters (m); derived from epsilon when 0.
   size_t capacity = 0;
@@ -83,18 +89,26 @@ class CotsSpaceSaving : public FrequencySummary {
     /// Processes `weight` occurrences of e. Wait-free unless this thread
     /// ends up the element's owner, in which case it cooperatively drains
     /// delegated work.
-    void Offer(ElementId e, uint64_t weight = 1);
+    ///
+    /// Returns true iff the occurrences were counted. Once Stop() has begun
+    /// the offer is refused (returns false, nothing counted) — the refusal
+    /// handshake guarantees no offer mutates the structure after Stop()
+    /// returns, so workers may race Stop() freely and simply exit their
+    /// ingest loop on the first false.
+    bool Offer(ElementId e, uint64_t weight = 1);
 
     /// Processes `count` elements as one pipelined batch: a single stream-
     /// length add and epoch pin for the whole batch, duplicate keys
     /// coalesced into weighted offers, and hash buckets prefetched a fixed
     /// distance ahead of the cursor (see BatchIngestOptions). Keep batches
     /// modest (hundreds to a few thousand): the epoch is pinned for the
-    /// whole batch, which delays memory reclamation.
-    void OfferBatch(const ElementId* elements, size_t count) {
-      OfferBatch(elements, count, BatchIngestOptions{});
+    /// whole batch, which delays memory reclamation. Returns false — with
+    /// the whole batch refused, nothing counted — once Stop() has begun
+    /// (see Offer).
+    bool OfferBatch(const ElementId* elements, size_t count) {
+      return OfferBatch(elements, count, BatchIngestOptions{});
     }
-    void OfferBatch(const ElementId* elements, size_t count,
+    bool OfferBatch(const ElementId* elements, size_t count,
                     const BatchIngestOptions& options);
 
     /// Point lookup through this thread's epoch slot (lock-free).
@@ -133,6 +147,13 @@ class CotsSpaceSaving : public FrequencySummary {
     uint64_t coalesce_stamp_ = 0;
   };
 
+  /// The constructor runs `options.Validate()` itself (on a copy), so
+  /// epsilon-only configs work without an explicit Validate() call; call
+  /// it anyway when you want the Status instead of an assert. A config
+  /// that fails validation asserts in debug builds and is clamped to a
+  /// 1-counter engine in release builds — a zero-capacity engine can
+  /// never admit, which would leave eviction requests unserviceable and
+  /// hang Stop() (and the destructor) forever.
   explicit CotsSpaceSaving(const CotsSpaceSavingOptions& options);
   ~CotsSpaceSaving() override;
 
@@ -141,6 +162,22 @@ class CotsSpaceSaving : public FrequencySummary {
   /// Registers the calling thread. Returns nullptr when max_threads
   /// sessions are already active.
   std::unique_ptr<ThreadHandle> RegisterThread();
+
+  /// Quiesces the engine (Running -> Draining -> Stopped): waits for
+  /// in-flight offers to land, then sweeps queued and parked requests until
+  /// the summary is fully drained, then freezes. Idempotent and
+  /// thread-safe — concurrent callers block until the first finishes.
+  ///
+  /// Offers racing Stop() resolve deterministically: an offer either wins
+  /// the handshake (it is counted and its delegated work is drained before
+  /// Stop returns) or is refused (Offer returns false, nothing counted).
+  /// No count is ever lost or half-applied, and nothing mutates the
+  /// structure after Stop() returns. Queries remain valid after Stop. The
+  /// destructor calls Stop() first, so destruction never races delegated
+  /// work.
+  void Stop();
+
+  EngineState state() const { return state_.load(std::memory_order_acquire); }
 
   // FrequencySummary. These use a shared, mutex-guarded epoch slot so any
   // thread may query without registering; workers should prefer the
@@ -182,6 +219,11 @@ class CotsSpaceSaving : public FrequencySummary {
   }
 
  private:
+  // Tag-dispatched target of the public constructor: `options` has already
+  // been validated (capacity derived and non-zero).
+  struct ValidatedTag {};
+  CotsSpaceSaving(const CotsSpaceSavingOptions& options, ValidatedTag);
+
   std::optional<Counter> LookupWith(EpochParticipant* participant,
                                     ElementId e) const;
 
@@ -192,6 +234,12 @@ class CotsSpaceSaving : public FrequencySummary {
   DelegationHashTable table_;
   ConcurrentStreamSummary summary_;
   std::atomic<uint64_t> n_{0};
+
+  std::atomic<EngineState> state_{EngineState::kRunning};
+  /// Offers between stream-length accounting and delegated-work completion;
+  /// Stop() waits for this to reach zero before trusting a quiescence scan
+  /// (a Delegate that has not yet enqueued is invisible to the scan).
+  std::atomic<uint64_t> inflight_offers_{0};
 
   // Shared query slot for the virtual FrequencySummary interface.
   mutable std::mutex query_mu_;

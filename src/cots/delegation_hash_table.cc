@@ -51,6 +51,12 @@ DelegationHashTable::DelegationHashTable(
 }
 
 DelegationHashTable::~DelegationHashTable() {
+  // Entries retired through TryRemove carry deleters that write their state
+  // word — memory inside this table's blocks. Destruction implies no reader
+  // is active, so run every pending deleter now, while the blocks are still
+  // alive; without this, an EpochManager outliving the table would replay
+  // those deleters into freed memory (heap-use-after-free).
+  epochs_->DrainAll();
   for (BucketHead& bucket : buckets_) {
     Block* b = bucket.head.load(std::memory_order_relaxed);
     while (b != nullptr) {

@@ -37,6 +37,7 @@
 #include <vector>
 
 #include "stream/stream.h"
+#include "util/failpoint.h"
 #include "util/macros.h"
 #include "util/metrics.h"
 #include "util/spinlock.h"
@@ -79,12 +80,6 @@ struct Request {
   /// always 1 — a weighted offer that seized ownership mid-batch carries a
   /// larger token.
   uint64_t token = 1;
-  /// kOverwrite: hops this request has taken toward a newer minimum
-  /// bucket. Strictly monotone and capped: under heavy churn the minimum
-  /// moves constantly and an uncapped (or refreshable) chase never
-  /// terminates. Evicting from a slightly stale minimum stays correct —
-  /// the victim's bucket frequency is what seeds the newcomer's error.
-  uint8_t reroutes = 0;
 };
 
 /// Bounded lock-free multi-producer ring drained by the single bucket
@@ -110,6 +105,12 @@ class RequestQueue {
   /// blocks on the consumer — a persistently full ring diverts to the
   /// overflow fallback instead.
   bool TryEnqueue(const Request& request) {
+    // Fault injection: exercise the overflow fallback without needing 64
+    // producers to genuinely fill the ring. EnqueueOverflow re-checks the
+    // closed bit, so close semantics are preserved.
+    if (COTS_FAILPOINT_TRIGGERED("request_queue.force_overflow")) {
+      return EnqueueOverflow(request);
+    }
     bool saw_full = false;
     for (int full_spins = 0;;) {
       uint64_t ticket = tail_.load(std::memory_order_acquire);

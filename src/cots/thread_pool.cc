@@ -11,21 +11,41 @@ ThreadPool::ThreadPool(int num_threads) {
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+void ThreadPool::Shutdown() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    shutdown_ = true;
+    std::unique_lock<std::mutex> lock(mu_);
+    if (state_ == State::kRunning) {
+      state_ = State::kDraining;
+      // Parked workers rejoin to help drain; outstanding park/unpark
+      // bookkeeping is void from here on (Park/Unpark return 0 once
+      // draining).
+      work_cv_.notify_all();
+      idle_cv_.wait(lock, [this] { return tasks_.empty() && running_ == 0; });
+      state_ = State::kStopped;
+      work_cv_.notify_all();
+      idle_cv_.notify_all();
+    } else {
+      // Lost the transition race (or Shutdown already ran): wait for the
+      // drain to finish so every caller returns post-drain.
+      idle_cv_.wait(lock, [this] { return state_ == State::kStopped; });
+    }
   }
-  work_cv_.notify_all();
-  for (std::thread& w : workers_) w.join();
+  // Exactly one caller joins; the others block here until it is done.
+  std::call_once(joined_, [this] {
+    for (std::thread& w : workers_) w.join();
+  });
 }
 
-void ThreadPool::Submit(std::function<void()> task) {
+bool ThreadPool::Submit(std::function<void()> task) {
   {
     std::lock_guard<std::mutex> lock(mu_);
+    if (state_ != State::kRunning) return false;
     tasks_.push_back(std::move(task));
   }
   work_cv_.notify_one();
+  return true;
 }
 
 void ThreadPool::Wait() {
@@ -37,6 +57,7 @@ int ThreadPool::Park(int count) {
   int asked;
   {
     std::lock_guard<std::mutex> lock(mu_);
+    if (state_ != State::kRunning) return 0;
     // A sleeper already credited to wake (unpark_credits_) is on its way
     // back to work and parks again only through a fresh request — counting
     // it as parked here would make Park under-grant right after an Unpark.
@@ -54,6 +75,7 @@ int ThreadPool::Unpark(int count) {
   int woken;
   {
     std::lock_guard<std::mutex> lock(mu_);
+    if (state_ != State::kRunning) return 0;
     // Cancel outstanding park requests first, then credit sleepers.
     const int cancelled = count < park_requests_ ? count : park_requests_;
     park_requests_ -= cancelled;
@@ -82,14 +104,19 @@ void ThreadPool::WorkerLoop(int index) {
   (void)index;
   std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
-    if (shutdown_) return;
-    if (park_requests_ > 0) {
+    if (state_ == State::kStopped) return;
+    if (state_ == State::kRunning && park_requests_ > 0) {
       --park_requests_;
       ++parked_;
       COTS_COUNTER_INC("thread_pool.parks");
-      work_cv_.wait(lock,
-                    [this] { return shutdown_ || unpark_credits_ > 0; });
-      if (shutdown_) return;
+      work_cv_.wait(lock, [this] {
+        return state_ != State::kRunning || unpark_credits_ > 0;
+      });
+      if (state_ != State::kRunning) {
+        // Shutdown woke us: rejoin the loop to help drain (or exit).
+        --parked_;
+        continue;
+      }
       --unpark_credits_;
       --parked_;
       COTS_COUNTER_INC("thread_pool.unparks");
@@ -106,8 +133,17 @@ void ThreadPool::WorkerLoop(int index) {
       if (tasks_.empty() && running_ == 0) idle_cv_.notify_all();
       continue;
     }
+    if (state_ == State::kDraining) {
+      // Nothing queued and nothing of ours running: report the drain (the
+      // last finisher's notify above may have preceded our arrival) and
+      // wait for the Stopped transition — tasks can no longer arrive.
+      if (running_ == 0) idle_cv_.notify_all();
+      work_cv_.wait(lock, [this] { return state_ == State::kStopped; });
+      return;
+    }
     work_cv_.wait(lock, [this] {
-      return shutdown_ || !tasks_.empty() || park_requests_ > 0;
+      return state_ != State::kRunning || !tasks_.empty() ||
+             park_requests_ > 0;
     });
   }
 }

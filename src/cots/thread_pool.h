@@ -22,13 +22,30 @@ namespace cots {
 
 class ThreadPool {
  public:
+  /// Lifecycle: Running accepts tasks; Draining (entered by Shutdown)
+  /// finishes every queued task but accepts no new ones; Stopped means all
+  /// workers have exited.
+  enum class State : uint8_t { kRunning, kDraining, kStopped };
+
   explicit ThreadPool(int num_threads);
   ~ThreadPool();
 
   COTS_DISALLOW_COPY_AND_ASSIGN(ThreadPool);
 
-  /// Enqueues a task. Parked workers do not pick up tasks.
-  void Submit(std::function<void()> task);
+  /// Enqueues a task. Parked workers do not pick up tasks. Returns false —
+  /// and drops the task — once Shutdown has begun.
+  bool Submit(std::function<void()> task);
+
+  /// Drains every queued task (waking parked workers to help), then joins
+  /// all workers. Idempotent and thread-safe: concurrent callers block
+  /// until the pool is Stopped. The destructor calls Shutdown(), so queued
+  /// work is never abandoned by teardown.
+  void Shutdown();
+
+  State state() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return state_;
+  }
 
   /// Blocks until the task queue is empty and all running tasks finished.
   void Wait();
@@ -50,13 +67,14 @@ class ThreadPool {
 
   mutable std::mutex mu_;
   std::condition_variable work_cv_;   // workers wait for tasks / unpark
-  std::condition_variable idle_cv_;   // Wait() waits for drain
+  std::condition_variable idle_cv_;   // Wait()/Shutdown() wait for drain
   std::deque<std::function<void()>> tasks_;
   int park_requests_ = 0;   // workers to park as soon as possible
   int parked_ = 0;          // workers currently asleep in the pool
   int unpark_credits_ = 0;  // sleepers allowed to wake
   int running_ = 0;  // tasks currently executing
-  bool shutdown_ = false;
+  State state_ = State::kRunning;
+  std::once_flag joined_;
   std::vector<std::thread> workers_;
 };
 

@@ -1,0 +1,123 @@
+#include "util/failpoint.h"
+
+#include <cassert>
+#include <mutex>
+#include <thread>
+
+#include "util/spinlock.h"
+
+namespace cots {
+
+namespace {
+
+std::mutex& RegistryMutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+// splitmix64 finalizer: full-avalanche mix so consecutive hit indices give
+// an uncorrelated activation pattern.
+inline uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+Failpoints& Failpoints::Global() {
+  static Failpoints* instance = new Failpoints();  // leaked: process-lifetime
+  return *instance;
+}
+
+int Failpoints::RegisterSite(std::string_view name) {
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  const int n = num_sites_.load(std::memory_order_relaxed);
+  for (int i = 0; i < n; ++i) {
+    if (sites_[i].name == name) return i;
+  }
+  assert(n < kMaxSites && "raise Failpoints::kMaxSites");
+  sites_[n].name = std::string(name);
+  num_sites_.store(n + 1, std::memory_order_release);
+  return n;
+}
+
+void Failpoints::Enable(std::string_view name, const FailpointSpec& spec) {
+  Site& site = sites_[RegisterSite(name)];
+  // Disarm while the rest of the spec is swapped so a concurrent hit never
+  // mixes old and new fields, then publish the action last (release pairs
+  // with Armed()'s acquire).
+  site.action.store(FailpointSpec::Action::kOff, std::memory_order_release);
+  site.num.store(spec.num, std::memory_order_relaxed);
+  site.den.store(spec.den == 0 ? 1 : spec.den, std::memory_order_relaxed);
+  site.seed.store(spec.seed, std::memory_order_relaxed);
+  site.skip_first.store(spec.skip_first, std::memory_order_relaxed);
+  site.max_activations.store(spec.max_activations, std::memory_order_relaxed);
+  site.spin_iters.store(spec.spin_iters, std::memory_order_relaxed);
+  site.hits.store(0, std::memory_order_relaxed);
+  site.activations.store(0, std::memory_order_relaxed);
+  site.action.store(spec.action, std::memory_order_release);
+}
+
+void Failpoints::Disable(std::string_view name) {
+  Site& site = sites_[RegisterSite(name)];
+  site.action.store(FailpointSpec::Action::kOff, std::memory_order_release);
+}
+
+void Failpoints::DisableAll() {
+  const int n = num_sites_.load(std::memory_order_acquire);
+  for (int i = 0; i < n; ++i) {
+    sites_[i].action.store(FailpointSpec::Action::kOff,
+                           std::memory_order_release);
+  }
+}
+
+uint64_t Failpoints::Hits(std::string_view name) {
+  return sites_[RegisterSite(name)].hits.load(std::memory_order_acquire);
+}
+
+uint64_t Failpoints::Activations(std::string_view name) {
+  return sites_[RegisterSite(name)].activations.load(
+      std::memory_order_acquire);
+}
+
+bool Failpoints::Evaluate(int site_index) {
+  Site& site = sites_[site_index];
+  const FailpointSpec::Action action =
+      site.action.load(std::memory_order_acquire);
+  if (action == FailpointSpec::Action::kOff) return false;
+  const uint64_t hit = site.hits.fetch_add(1, std::memory_order_relaxed);
+  if (hit < site.skip_first.load(std::memory_order_relaxed)) return false;
+  const uint64_t i = hit - site.skip_first.load(std::memory_order_relaxed);
+  const uint32_t num = site.num.load(std::memory_order_relaxed);
+  const uint32_t den = site.den.load(std::memory_order_relaxed);
+  if (num < den) {
+    const uint64_t seed = site.seed.load(std::memory_order_relaxed);
+    if (Mix64(seed + i) % den >= num) return false;
+  }
+  // Reserve an activation slot; back off once the cap is reached.
+  const uint64_t cap = site.max_activations.load(std::memory_order_relaxed);
+  uint64_t act = site.activations.load(std::memory_order_relaxed);
+  do {
+    if (act >= cap) return false;
+  } while (!site.activations.compare_exchange_weak(
+      act, act + 1, std::memory_order_acq_rel, std::memory_order_relaxed));
+  switch (action) {
+    case FailpointSpec::Action::kOff:
+      return false;
+    case FailpointSpec::Action::kYield:
+      std::this_thread::yield();
+      return false;
+    case FailpointSpec::Action::kSpin: {
+      const uint32_t iters = site.spin_iters.load(std::memory_order_relaxed);
+      for (uint32_t k = 0; k < iters; ++k) CpuRelax();
+      return false;
+    }
+    case FailpointSpec::Action::kTrigger:
+      return true;
+  }
+  return false;
+}
+
+}  // namespace cots

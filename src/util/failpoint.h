@@ -1,0 +1,182 @@
+// Copyright (c) the CoTS reproduction authors.
+//
+// Deterministic failpoint + schedule-perturbation harness. A failpoint is a
+// named site in the engine where a test can inject a forced failure branch
+// (e.g. "treat this enqueue as overflowed", "treat this overwrite's victim
+// bucket as busy") or a schedule perturbation (yield / bounded spin) to
+// widen race windows that real hardware rarely opens.
+//
+// Design constraints, mirroring util/metrics.h:
+//
+//   1. Compiled away by default. Building with -DCOTS_FAILPOINTS=OFF (the
+//      default) defines COTS_FAILPOINTS_ENABLED=0 and every COTS_FAILPOINT*
+//      macro expands to nothing (the boolean form to a constant `false`),
+//      so release hot paths carry zero cost. The registry itself stays
+//      linkable so test utilities need no #ifdefs.
+//   2. Armed-but-cold sites are one relaxed load. An enabled build pays a
+//      single relaxed atomic load per site visit while the site is off —
+//      cheap enough to leave sites in per-request paths.
+//   3. Decisions are deterministic and interleaving-independent. Whether
+//      hit number i of a site activates depends only on (seed, i), never on
+//      wall clock or global RNG state, so a failing schedule replays: the
+//      k-th time any given thread ordering reaches the site, the harness
+//      makes the same choice.
+//
+// Usage at a call site (the name literal doubles as the registration key;
+// registration runs once per site via the static local):
+//
+//   COTS_FAILPOINT("summary.dispatch");                  // perturb only
+//   if (COTS_FAILPOINT_TRIGGERED("request_queue.force_overflow")) {
+//     return EnqueueOverflow(request);                   // forced branch
+//   }
+//
+// and in a test:
+//
+//   FailpointSpec spec;
+//   spec.action = FailpointSpec::Action::kTrigger;
+//   spec.num = 1; spec.den = 4;          // activate ~1/4 of hits
+//   Failpoints::Global().Enable("request_queue.force_overflow", spec);
+//   ... run workload ...
+//   Failpoints::Global().DisableAll();
+
+#ifndef COTS_UTIL_FAILPOINT_H_
+#define COTS_UTIL_FAILPOINT_H_
+
+#ifndef COTS_FAILPOINTS_ENABLED
+#define COTS_FAILPOINTS_ENABLED 0
+#endif
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/macros.h"
+
+namespace cots {
+
+/// What an armed site does on an activated hit.
+struct FailpointSpec {
+  enum class Action : uint8_t {
+    kOff = 0,  ///< Site disarmed (never activates).
+    kYield,    ///< Schedule perturbation: std::this_thread::yield().
+    kSpin,     ///< Schedule perturbation: bounded CpuRelax spin.
+    kTrigger,  ///< Force the failure branch (COTS_FAILPOINT_TRIGGERED true).
+  };
+
+  Action action = Action::kOff;
+  /// Activation probability num/den, decided deterministically per hit
+  /// index: hit i activates iff mix64(seed + i) % den < num. num >= den
+  /// means every hit activates.
+  uint32_t num = 1;
+  uint32_t den = 1;
+  /// Seed for the per-hit decision mix; same seed => same activation set.
+  uint64_t seed = 0x9e3779b97f4a7c15ull;
+  /// Hits consumed before any activation is considered.
+  uint64_t skip_first = 0;
+  /// Cap on total activations (unlimited by default).
+  uint64_t max_activations = ~uint64_t{0};
+  /// Iterations for Action::kSpin.
+  uint32_t spin_iters = 256;
+};
+
+/// Global registry of failpoint sites. Always compiled (linkable with the
+/// macros expanded away); only the macros make the engine consult it.
+class Failpoints {
+ public:
+  static constexpr int kMaxSites = 64;
+
+  static Failpoints& Global();
+
+  /// Registers (or looks up) a site by name; returns its stable index.
+  /// Thread-safe; intended for the macros' static-local initializers and
+  /// for tests enabling a site before the engine first reaches it.
+  int RegisterSite(std::string_view name);
+
+  /// Arms `name` with `spec` and resets its hit/activation counts.
+  void Enable(std::string_view name, const FailpointSpec& spec);
+
+  /// Disarms `name` (counts are kept until the next Enable).
+  void Disable(std::string_view name);
+
+  /// Disarms every site.
+  void DisableAll();
+
+  /// Hits observed while armed (disarmed visits are not counted).
+  uint64_t Hits(std::string_view name);
+
+  /// Hits that activated (perturbed or triggered).
+  uint64_t Activations(std::string_view name);
+
+  /// Consumes one hit. Perturbations (yield/spin) run inside; returns true
+  /// only for an activated Action::kTrigger hit, i.e. only when the caller
+  /// must take its forced failure branch.
+  bool Evaluate(int site);
+
+  /// Fast armed probe, used by COTS_FAILPOINT* before calling Evaluate.
+  bool Armed(int site) const {
+    return sites_[site].action.load(std::memory_order_acquire) !=
+           FailpointSpec::Action::kOff;
+  }
+
+ private:
+  Failpoints() = default;
+  COTS_DISALLOW_COPY_AND_ASSIGN(Failpoints);
+
+  /// One site. The spec is stored as individual atomics so Evaluate never
+  /// takes a lock; Enable publishes `action` last (release) so a hit that
+  /// observes the armed action also observes the rest of its spec.
+  struct Site {
+    std::string name;  // set once under registry_mu_
+    std::atomic<FailpointSpec::Action> action{FailpointSpec::Action::kOff};
+    std::atomic<uint32_t> num{1};
+    std::atomic<uint32_t> den{1};
+    std::atomic<uint64_t> seed{0};
+    std::atomic<uint64_t> skip_first{0};
+    std::atomic<uint64_t> max_activations{~uint64_t{0}};
+    std::atomic<uint32_t> spin_iters{256};
+    std::atomic<uint64_t> hits{0};
+    std::atomic<uint64_t> activations{0};
+  };
+
+  Site sites_[kMaxSites];
+  std::atomic<int> num_sites_{0};
+};
+
+}  // namespace cots
+
+#if COTS_FAILPOINTS_ENABLED
+
+/// Schedule-perturbation site: may yield or spin when armed; no effect on
+/// control flow.
+#define COTS_FAILPOINT(name)                                              \
+  do {                                                                    \
+    static const int cots_fp_site_ =                                      \
+        ::cots::Failpoints::Global().RegisterSite(name);                  \
+    if (COTS_UNLIKELY(::cots::Failpoints::Global().Armed(cots_fp_site_))) \
+      ::cots::Failpoints::Global().Evaluate(cots_fp_site_);               \
+  } while (false)
+
+/// Forced-branch site: evaluates to true when the site is armed with
+/// Action::kTrigger and this hit activates; the caller then takes its
+/// failure branch. Yield/spin specs perturb here too but always evaluate
+/// to false, so a _TRIGGERED site doubles as a perturbation point.
+#define COTS_FAILPOINT_TRIGGERED(name)                                  \
+  ([]() -> bool {                                                       \
+    static const int cots_fp_site_ =                                    \
+        ::cots::Failpoints::Global().RegisterSite(name);                \
+    if (COTS_LIKELY(!::cots::Failpoints::Global().Armed(cots_fp_site_))) \
+      return false;                                                     \
+    return ::cots::Failpoints::Global().Evaluate(cots_fp_site_);        \
+  }())
+
+#else  // !COTS_FAILPOINTS_ENABLED
+
+#define COTS_FAILPOINT(name) \
+  do {                       \
+  } while (false)
+#define COTS_FAILPOINT_TRIGGERED(name) (false)
+
+#endif  // COTS_FAILPOINTS_ENABLED
+
+#endif  // COTS_UTIL_FAILPOINT_H_

@@ -12,6 +12,7 @@
 
 #include "cots/cots_space_saving.h"
 #include "stream/exact_counter.h"
+#include "util/failpoint.h"
 #include "util/random.h"
 
 namespace cots {
@@ -93,6 +94,13 @@ TEST_P(CotsFuzzTest, RandomizedMixedWorkload) {
     }
   }
   EXPECT_EQ(engine.stream_length(), n);
+  // Zero-loss conservation law: every offered unit of weight lands on
+  // exactly one monitored counter and eviction inherits it, so the counter
+  // sum equals the stream length — no path (overflow fallback, parked or
+  // deferred overwrite) may ever drop a count.
+  uint64_t conserved = 0;
+  for (const Counter& c : engine.CountersDescending()) conserved += c.count;
+  EXPECT_EQ(conserved, n);
   for (const Counter& c : engine.CountersDescending()) {
     const uint64_t exact = truth.count(c.key) != 0 ? truth[c.key] : 0;
     EXPECT_LE(exact, c.count) << "key " << c.key;
@@ -120,6 +128,99 @@ INSTANTIATE_TEST_SUITE_P(
     [](const ::testing::TestParamInfo<FuzzPlan>& info) {
       return "seed" + std::to_string(info.param.seed);
     });
+
+// 100 short rounds with every failure branch forced and the schedule
+// perturbed: ring overflow fallbacks, forced overwrite deferral (the
+// minimum bucket treated as busy, parking the request at the sentinel),
+// and yields in the dispatch/close paths. Each round must preserve the
+// zero-loss invariant exactly — deferral may delay a count but never drop
+// it.
+TEST(CotsFailpointStressTest, ZeroLossAcrossHundredPerturbedRounds) {
+  if (!COTS_FAILPOINTS_ENABLED) {
+    GTEST_SKIP() << "build with -DCOTS_FAILPOINTS=ON to run injection";
+  }
+
+  constexpr int kRounds = 100;
+  constexpr int kThreads = 2;
+  constexpr uint64_t kOpsPerThread = 1200;
+
+  for (int round = 0; round < kRounds; ++round) {
+    const uint64_t round_seed = 0x9e3779b9u * static_cast<uint64_t>(round) + 1;
+
+    FailpointSpec yield;
+    yield.action = FailpointSpec::Action::kYield;
+    yield.num = 1;
+    yield.den = 4;
+    yield.seed = round_seed;
+    Failpoints::Global().Enable("summary.dispatch", yield);
+    Failpoints::Global().Enable("summary.bucket_close", yield);
+    Failpoints::Global().Enable("summary.orphan_forward", yield);
+
+    FailpointSpec overflow;
+    overflow.action = FailpointSpec::Action::kTrigger;
+    overflow.num = 1;
+    overflow.den = 4;
+    overflow.seed = round_seed ^ 0xdeadbeef;
+    Failpoints::Global().Enable("request_queue.force_overflow", overflow);
+
+    FailpointSpec defer;
+    defer.action = FailpointSpec::Action::kTrigger;
+    defer.num = 1;
+    defer.den = 2;
+    defer.seed = round_seed ^ 0xc0ffee;
+    Failpoints::Global().Enable("summary.force_overwrite_defer", defer);
+
+    CotsSpaceSavingOptions opt;
+    opt.capacity = 8;
+    ASSERT_TRUE(opt.Validate().ok());
+    CotsSpaceSaving engine(opt);
+
+    std::vector<std::unordered_map<ElementId, uint64_t>> truths(kThreads);
+    std::vector<std::thread> workers;
+    for (int t = 0; t < kThreads; ++t) {
+      workers.emplace_back([&, t] {
+        auto handle = engine.RegisterThread();
+        ASSERT_NE(handle, nullptr);
+        Xoshiro256 rng(round_seed * 31 + static_cast<uint64_t>(t));
+        auto& truth = truths[static_cast<size_t>(t)];
+        for (uint64_t i = 0; i < kOpsPerThread; ++i) {
+          const bool hot = rng.NextBounded(10) < 6;
+          const ElementId e = hot ? 1 + rng.NextBounded(4)
+                                  : 1'000'000 + rng.NextBounded(600);
+          const uint64_t weight = 1 + rng.NextBounded(3);
+          ASSERT_TRUE(handle->Offer(e, weight));
+          truth[e] += weight;
+        }
+      });
+    }
+    for (std::thread& w : workers) w.join();
+    engine.Stop();  // shutdown drain must flush relayed/parked requests too
+
+    std::unordered_map<ElementId, uint64_t> truth;
+    uint64_t n = 0;
+    for (const auto& partial : truths) {
+      for (const auto& [key, count] : partial) {
+        truth[key] += count;
+        n += count;
+      }
+    }
+    ASSERT_EQ(engine.stream_length(), n) << "round " << round;
+    uint64_t conserved = 0;
+    for (const Counter& c : engine.CountersDescending()) {
+      conserved += c.count;
+      const uint64_t exact = truth.count(c.key) != 0 ? truth[c.key] : 0;
+      ASSERT_LE(exact, c.count) << "round " << round << " key " << c.key;
+      ASSERT_LE(c.count, exact + c.error)
+          << "round " << round << " key " << c.key;
+    }
+    ASSERT_EQ(conserved, n) << "round " << round;
+    std::string why;
+    ASSERT_TRUE(engine.CheckInvariantsQuiescent(&why))
+        << "round " << round << ": " << why;
+
+    Failpoints::Global().DisableAll();
+  }
+}
 
 }  // namespace
 }  // namespace cots

@@ -1,0 +1,380 @@
+// Lifecycle/shutdown protocol tests (DESIGN.md §8): the engine's
+// Running -> Draining -> Stopped state machine, the Offer/Stop refusal
+// handshake (no count lost, no mutation after Stop returns), ThreadPool's
+// drain-before-join shutdown, and ContinuousMonitor's Start/Stop race.
+// Failpoint-gated variants rerun the shutdown races under deterministic
+// schedule perturbation and forced failure branches.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "core/space_saving.h"
+#include "core/continuous_monitor.h"
+#include "cots/cots_space_saving.h"
+#include "cots/thread_pool.h"
+#include "util/failpoint.h"
+#include "util/random.h"
+
+namespace cots {
+namespace {
+
+class CotsEngineLifecycleTest : public ::testing::Test {
+ protected:
+  void TearDown() override { Failpoints::Global().DisableAll(); }
+
+  static uint64_t SumCounts(const CotsSpaceSaving& engine) {
+    uint64_t sum = 0;
+    for (const Counter& c : engine.CountersDescending()) sum += c.count;
+    return sum;
+  }
+
+  // Runs `threads` ingest workers that offer until refused (or an op cap),
+  // stops the engine once at least `stop_after` elements landed, and
+  // returns the number of accepted offers. Every structural check that
+  // must hold across a racing shutdown runs inside.
+  static void RunShutdownWhileIngesting(size_t capacity, int threads,
+                                        uint64_t stop_after,
+                                        uint64_t key_range) {
+    CotsSpaceSavingOptions opt;
+    opt.capacity = capacity;
+    ASSERT_TRUE(opt.Validate().ok());
+    CotsSpaceSaving engine(opt);
+
+    std::atomic<uint64_t> accepted{0};
+    std::vector<std::thread> workers;
+    for (int t = 0; t < threads; ++t) {
+      workers.emplace_back([&, t] {
+        auto handle = engine.RegisterThread();
+        ASSERT_NE(handle, nullptr);
+        Xoshiro256 rng(1000003u * static_cast<uint64_t>(t + 1));
+        uint64_t local = 0;
+        for (uint64_t i = 0; i < 2'000'000; ++i) {
+          const ElementId e = 1 + rng.NextBounded(key_range);
+          if (!handle->Offer(e)) break;  // refused: Stop() has begun
+          ++local;
+        }
+        accepted.fetch_add(local, std::memory_order_relaxed);
+      });
+    }
+
+    while (engine.stream_length() < stop_after) std::this_thread::yield();
+    engine.Stop();
+    EXPECT_EQ(engine.state(), EngineState::kStopped);
+    for (std::thread& w : workers) w.join();
+
+    // Zero-loss across shutdown: every accepted offer is in the frozen
+    // structure, and the Space Saving conservation law (sum of monitored
+    // counts == stream length) survives the racing Stop.
+    EXPECT_EQ(engine.stream_length(), accepted.load());
+    EXPECT_EQ(SumCounts(engine), accepted.load());
+    std::string why;
+    EXPECT_TRUE(engine.CheckInvariantsQuiescent(&why)) << why;
+  }
+};
+
+TEST_F(CotsEngineLifecycleTest, StopIsIdempotentAndFreezes) {
+  CotsSpaceSavingOptions opt;
+  opt.capacity = 64;
+  ASSERT_TRUE(opt.Validate().ok());
+  CotsSpaceSaving engine(opt);
+  {
+    auto handle = engine.RegisterThread();
+    ASSERT_NE(handle, nullptr);
+    for (uint64_t i = 0; i < 1000; ++i) {
+      EXPECT_TRUE(handle->Offer(1 + i % 10));
+    }
+  }
+
+  EXPECT_EQ(engine.state(), EngineState::kRunning);
+  engine.Stop();
+  EXPECT_EQ(engine.state(), EngineState::kStopped);
+  engine.Stop();  // idempotent no-op
+  EXPECT_EQ(engine.state(), EngineState::kStopped);
+
+  // Queries stay valid after Stop, and the structure is frozen: repeated
+  // snapshots are identical.
+  const std::vector<Counter> a = engine.CountersDescending();
+  const std::vector<Counter> b = engine.CountersDescending();
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].key, b[i].key);
+    EXPECT_EQ(a[i].count, b[i].count);
+    EXPECT_EQ(a[i].error, b[i].error);
+  }
+  EXPECT_EQ(engine.stream_length(), 1000u);
+  EXPECT_EQ(SumCounts(engine), 1000u);
+  ASSERT_TRUE(engine.Lookup(1).has_value());
+  EXPECT_EQ(engine.Lookup(1)->count, 100u);
+  std::string why;
+  EXPECT_TRUE(engine.CheckInvariantsQuiescent(&why)) << why;
+}
+
+TEST_F(CotsEngineLifecycleTest, OffersAreRefusedAfterStop) {
+  CotsSpaceSavingOptions opt;
+  opt.capacity = 8;
+  ASSERT_TRUE(opt.Validate().ok());
+  CotsSpaceSaving engine(opt);
+  auto handle = engine.RegisterThread();
+  ASSERT_NE(handle, nullptr);
+  EXPECT_TRUE(handle->Offer(7));
+  engine.Stop();
+
+  EXPECT_FALSE(handle->Offer(7));
+  const ElementId batch[3] = {1, 2, 3};
+  EXPECT_FALSE(handle->OfferBatch(batch, 3));
+  // Refused offers are not counted anywhere.
+  EXPECT_EQ(engine.stream_length(), 1u);
+  EXPECT_EQ(engine.Lookup(7)->count, 1u);
+}
+
+TEST_F(CotsEngineLifecycleTest, ConcurrentStopCallsConverge) {
+  CotsSpaceSavingOptions opt;
+  opt.capacity = 16;
+  ASSERT_TRUE(opt.Validate().ok());
+  CotsSpaceSaving engine(opt);
+  {
+    auto handle = engine.RegisterThread();
+    ASSERT_NE(handle, nullptr);
+    for (uint64_t i = 0; i < 500; ++i) handle->Offer(1 + i % 40);
+  }
+
+  std::vector<std::thread> stoppers;
+  for (int t = 0; t < 4; ++t) {
+    stoppers.emplace_back([&] {
+      engine.Stop();
+      // Every caller returns post-quiesce, not merely post-transition.
+      EXPECT_EQ(engine.state(), EngineState::kStopped);
+    });
+  }
+  for (std::thread& s : stoppers) s.join();
+  EXPECT_EQ(engine.stream_length(), 500u);
+  std::string why;
+  EXPECT_TRUE(engine.CheckInvariantsQuiescent(&why)) << why;
+}
+
+TEST_F(CotsEngineLifecycleTest, StopWhileIngestingLosesNothing) {
+  RunShutdownWhileIngesting(/*capacity=*/32, /*threads=*/4,
+                            /*stop_after=*/5000, /*key_range=*/100);
+}
+
+TEST_F(CotsEngineLifecycleTest, StopWhileQueryingKeepsSnapshotsValid) {
+  CotsSpaceSavingOptions opt;
+  opt.capacity = 16;
+  ASSERT_TRUE(opt.Validate().ok());
+  CotsSpaceSaving engine(opt);
+
+  std::atomic<bool> stop_readers{false};
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 2; ++r) {
+    readers.emplace_back([&] {
+      auto handle = engine.RegisterThread();
+      ASSERT_NE(handle, nullptr);
+      while (!stop_readers.load(std::memory_order_relaxed)) {
+        const std::vector<Counter> snap = handle->CountersDescending();
+        for (size_t i = 1; i < snap.size(); ++i) {
+          ASSERT_LE(snap[i].count, snap[i - 1].count);
+        }
+        handle->Lookup(1);
+      }
+    });
+  }
+
+  std::atomic<uint64_t> accepted{0};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 2; ++t) {
+    writers.emplace_back([&, t] {
+      auto handle = engine.RegisterThread();
+      ASSERT_NE(handle, nullptr);
+      Xoshiro256 rng(77 + static_cast<uint64_t>(t));
+      uint64_t local = 0;
+      for (uint64_t i = 0; i < 2'000'000; ++i) {
+        const bool hot = rng.NextBounded(10) < 6;
+        const ElementId e =
+            hot ? 1 + rng.NextBounded(8) : 1'000'000 + rng.NextBounded(400);
+        if (!handle->Offer(e)) break;
+        ++local;
+      }
+      accepted.fetch_add(local, std::memory_order_relaxed);
+    });
+  }
+
+  while (engine.stream_length() < 3000) std::this_thread::yield();
+  engine.Stop();  // readers keep querying straight through the shutdown
+  for (std::thread& w : writers) w.join();
+  stop_readers.store(true);
+  for (std::thread& r : readers) r.join();
+
+  EXPECT_EQ(engine.stream_length(), accepted.load());
+  EXPECT_EQ(SumCounts(engine), accepted.load());
+  std::string why;
+  EXPECT_TRUE(engine.CheckInvariantsQuiescent(&why)) << why;
+}
+
+TEST_F(CotsEngineLifecycleTest, DestructorStopsARunningEngine) {
+  // No explicit Stop: teardown itself must quiesce delegated work before
+  // the structures destruct (the destructor calls Stop()).
+  CotsSpaceSavingOptions opt;
+  opt.capacity = 8;
+  ASSERT_TRUE(opt.Validate().ok());
+  {
+    CotsSpaceSaving engine(opt);
+    auto handle = engine.RegisterThread();
+    ASSERT_NE(handle, nullptr);
+    for (uint64_t i = 0; i < 2000; ++i) handle->Offer(1 + i % 50);
+  }
+  SUCCEED();
+}
+
+TEST_F(CotsEngineLifecycleTest, ConstructorValidatesUnvalidatedOptions) {
+  // Regression: an epsilon-only options struct passed WITHOUT calling
+  // Validate() used to produce a zero-capacity engine in release builds
+  // (the constructor assert compiles out). Nothing could ever be
+  // admitted, every new element became an overwrite with no bucket to
+  // evict from, and the unserviceable parked request spun Stop() — and
+  // the destructor — forever. The constructor now validates on a copy.
+  CotsSpaceSavingOptions opt;
+  opt.epsilon = 0.01;  // deliberately no opt.Validate()
+  CotsSpaceSaving engine(opt);
+  EXPECT_EQ(engine.capacity(), 100u);
+  auto handle = engine.RegisterThread();
+  ASSERT_NE(handle, nullptr);
+  for (uint64_t i = 0; i < 500; ++i) {
+    ASSERT_TRUE(handle->Offer(1 + i % 37));
+  }
+  engine.Stop();  // used to hang here
+  EXPECT_EQ(engine.state(), EngineState::kStopped);
+  EXPECT_FALSE(handle->Offer(1));
+  EXPECT_EQ(SumCounts(engine), 500u);
+}
+
+#if COTS_FAILPOINTS_ENABLED
+
+TEST_F(CotsEngineLifecycleTest, StopUnderSchedulePerturbation) {
+  // Widen every shutdown race window: yields in dispatch/bucket-close/
+  // teardown, forced ring-overflow fallbacks, and forced overwrite
+  // deferral (parking the request at the sentinel for retry).
+  FailpointSpec yield;
+  yield.action = FailpointSpec::Action::kYield;
+  yield.num = 1;
+  yield.den = 8;
+  yield.seed = 11;
+  Failpoints::Global().Enable("summary.dispatch", yield);
+  Failpoints::Global().Enable("summary.bucket_close", yield);
+  Failpoints::Global().Enable("summary.orphan_forward", yield);
+  FailpointSpec teardown;
+  teardown.action = FailpointSpec::Action::kYield;
+  Failpoints::Global().Enable("engine.teardown", teardown);
+  FailpointSpec overflow;
+  overflow.action = FailpointSpec::Action::kTrigger;
+  overflow.num = 1;
+  overflow.den = 8;
+  overflow.seed = 13;
+  Failpoints::Global().Enable("request_queue.force_overflow", overflow);
+  FailpointSpec defer;
+  defer.action = FailpointSpec::Action::kTrigger;
+  defer.num = 1;
+  defer.den = 2;
+  defer.seed = 17;
+  Failpoints::Global().Enable("summary.force_overwrite_defer", defer);
+
+  RunShutdownWhileIngesting(/*capacity=*/8, /*threads=*/3,
+                            /*stop_after=*/4000, /*key_range=*/200);
+}
+
+#endif  // COTS_FAILPOINTS_ENABLED
+
+TEST(CotsThreadPoolShutdownTest, ShutdownDrainsQueuedTasks) {
+  ThreadPool pool(2);
+  // Park both workers so queued tasks cannot start, then shut down: the
+  // old destructor abandoned exactly this backlog.
+  ASSERT_EQ(pool.Park(2), 2);
+  for (int i = 0; i < 100 && pool.parked() < 2; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_TRUE(pool.Submit([&] { ran.fetch_add(1); }));
+  }
+  pool.Shutdown();
+  EXPECT_EQ(ran.load(), 50);
+  EXPECT_EQ(pool.state(), ThreadPool::State::kStopped);
+  EXPECT_FALSE(pool.Submit([&] { ran.fetch_add(1); }));
+  EXPECT_EQ(ran.load(), 50);
+}
+
+TEST(CotsThreadPoolShutdownTest, DestructorDrainsQueuedTasks) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 10; ++i) {
+      pool.Submit([&] {
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+        ran.fetch_add(1);
+      });
+    }
+  }  // destructor == Shutdown: every queued task runs before join
+  EXPECT_EQ(ran.load(), 10);
+}
+
+TEST(CotsThreadPoolShutdownTest, ConcurrentShutdownCallsConverge) {
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 20; ++i) {
+    pool.Submit([&] { ran.fetch_add(1); });
+  }
+  std::vector<std::thread> closers;
+  for (int t = 0; t < 4; ++t) {
+    closers.emplace_back([&] {
+      pool.Shutdown();
+      // Every caller returns post-drain.
+      EXPECT_EQ(pool.state(), ThreadPool::State::kStopped);
+      EXPECT_EQ(ran.load(), 20);
+    });
+  }
+  for (std::thread& c : closers) c.join();
+  pool.Shutdown();  // idempotent after the fact
+  EXPECT_EQ(ran.load(), 20);
+}
+
+TEST(CotsThreadPoolShutdownTest, ParkUnparkAreInertAfterShutdown) {
+  ThreadPool pool(2);
+  pool.Shutdown();
+  EXPECT_EQ(pool.Park(2), 0);
+  EXPECT_EQ(pool.Unpark(2), 0);
+  EXPECT_EQ(pool.parked(), 0);
+}
+
+TEST(CotsMonitorLifecycleTest, ConcurrentStartStopNeverLeaksThread) {
+  SpaceSavingOptions sopt;
+  sopt.capacity = 8;
+  ASSERT_TRUE(sopt.Validate().ok());
+  SpaceSaving summary(sopt);
+  summary.Offer(1);
+
+  ContinuousMonitorOptions mopt;
+  mopt.every_micros = 100;
+  ASSERT_TRUE(mopt.Validate().ok());
+
+  // Unserialized, a Stop racing a Start could observe running_ before the
+  // thread was assigned and return without joining — the unjoined thread
+  // then reads a dead summary (and std::terminate fires in ~thread).
+  for (int round = 0; round < 50; ++round) {
+    ContinuousMonitor monitor(&summary, mopt,
+                              [](const QueryEngine&, uint64_t) {});
+    std::thread starter([&] { monitor.Start(); });
+    std::thread stopper([&] { monitor.Stop(); });
+    starter.join();
+    stopper.join();
+    // Whatever the race resolved to, the monitor must still be usable.
+    monitor.Start();
+    monitor.Stop();
+  }  // destructor must always find a joinable-or-joined thread
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace cots

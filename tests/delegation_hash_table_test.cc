@@ -241,5 +241,32 @@ TEST_F(DelegationHashTableTest, ConcurrentRemoveAndDelegate) {
             static_cast<uint64_t>(kWriters) * kPerThread);
 }
 
+// Regression (teardown use-after-free): TryRemove retires the entry with a
+// deleter that writes its state word — memory inside the table's blocks. If
+// the table dies before the EpochManager, the manager's final drain used to
+// replay that deleter into freed block memory. The table's destructor must
+// drain pending retirements itself, while its blocks are still alive.
+// ASan turns a regression here into a hard failure.
+TEST(DelegationHashTableTeardownTest, RetiredEntriesDrainBeforeBlocksFree) {
+  EpochManager epochs(8);
+  {
+    DelegationHashTableOptions opt;
+    opt.buckets = 64;
+    opt.block_entries = 2;
+    DelegationHashTable table(opt, &epochs);
+    EpochParticipant* p = epochs.Register();
+    ASSERT_NE(p, nullptr);
+    {
+      EpochGuard guard(p);
+      auto r = table.Delegate(42);
+      table.Relinquish(r.entry);
+      ASSERT_TRUE(table.TryRemove(r.entry, p));
+    }
+    // Unregister migrates the still-pending retirement to the manager's
+    // orphan list — the exact shape that outlives the table below.
+    epochs.Unregister(p);
+  }  // ~DelegationHashTable: must run the orphaned deleter, then free blocks
+}    // ~EpochManager: nothing left that touches table memory
+
 }  // namespace
 }  // namespace cots
