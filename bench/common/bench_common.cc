@@ -95,13 +95,22 @@ std::string BenchReport::ToJson(const BenchConfig& config) const {
   w.Key("metrics_enabled").Bool(COTS_METRICS_ENABLED != 0);
   w.EndObject();
   w.Key("timings").BeginArray();
+  const double hardware_threads = static_cast<double>(HardwareConcurrency());
   for (const TimingRow& row : timings_) {
     w.BeginObject();
     w.Key("label").String(row.label);
     w.Key("seconds").Double(row.seconds);
+    bool oversubscribed = false;
     for (const auto& [key, value] : row.extras) {
       w.Key(key).Double(value);
+      // A "threads" column beyond the machine's hardware threads is a
+      // timeshared measurement, not a scaling point; stamp the row so
+      // BENCH_*.json trajectories can never silently claim scaling from a
+      // smaller machine (the committed seed numbers came from a 1-thread
+      // box).
+      if (key == "threads" && value > hardware_threads) oversubscribed = true;
     }
+    if (oversubscribed) w.Key("oversubscribed").Bool(true);
     w.EndObject();
   }
   w.EndArray();

@@ -1,0 +1,446 @@
+// ingest_server: a minimal network front-end for the CotsFleet (DESIGN.md
+// §9). An epoll event loop accepts loopback TCP connections, parses the
+// wire protocol (a raw stream of little-endian uint64 element ids, no
+// framing), accumulates per-connection batches, and feeds them to the
+// fleet through OfferBatch — so the network path reuses the same
+// prefetch + coalescing ingest pipeline as the in-process benches, and a
+// batch either lands on its shards in full or is refused in full.
+//
+//   ./ingest_server --port=7171 --shards=4 --capacity=1000
+//     serves until SIGINT/SIGTERM, printing a top-k report every
+//     --report-ms milliseconds.
+//
+//   ./ingest_server --selftest --seconds=5
+//     spawns loopback client threads in-process, ingests for ~N seconds,
+//     then drains, stops the fleet, and exits 0 iff conservation holds:
+//     every element the clients wrote was counted (fleet stream length ==
+//     bytes sent / 8) and the merged top-k view is internally consistent.
+//     This is the CI smoke mode.
+
+#ifdef __linux__
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "cots/cots_fleet.h"
+#include "stream/zipf_generator.h"
+#include "util/random.h"
+
+namespace {
+
+using cots::CotsFleet;
+using cots::CotsFleetOptions;
+using cots::Counter;
+using cots::ElementId;
+
+volatile std::sig_atomic_t g_interrupted = 0;
+void OnSignal(int) { g_interrupted = 1; }
+
+struct ServerConfig {
+  uint16_t port = 0;  // 0 = ephemeral (printed once bound)
+  size_t shards = 0;  // 0 = hardware threads
+  size_t capacity = 1000;
+  size_t topk = 10;
+  int report_ms = 2000;
+  bool selftest = false;
+  int seconds = 5;
+  int clients = 3;
+  uint64_t keys_per_client_burst = 4096;
+};
+
+ServerConfig ParseArgs(int argc, char** argv) {
+  ServerConfig c;
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strncmp(a, "--port=", 7) == 0) {
+      c.port = static_cast<uint16_t>(std::strtoul(a + 7, nullptr, 10));
+    } else if (std::strncmp(a, "--shards=", 9) == 0) {
+      c.shards = std::strtoull(a + 9, nullptr, 10);
+    } else if (std::strncmp(a, "--capacity=", 11) == 0) {
+      c.capacity = std::strtoull(a + 11, nullptr, 10);
+    } else if (std::strncmp(a, "--topk=", 7) == 0) {
+      c.topk = std::strtoull(a + 7, nullptr, 10);
+    } else if (std::strncmp(a, "--report-ms=", 12) == 0) {
+      c.report_ms = static_cast<int>(std::strtol(a + 12, nullptr, 10));
+    } else if (std::strcmp(a, "--selftest") == 0) {
+      c.selftest = true;
+    } else if (std::strncmp(a, "--seconds=", 10) == 0) {
+      c.seconds = static_cast<int>(std::strtol(a + 10, nullptr, 10));
+    } else if (std::strncmp(a, "--clients=", 10) == 0) {
+      c.clients = static_cast<int>(std::strtol(a + 10, nullptr, 10));
+    } else {
+      std::fprintf(stderr,
+                   "unknown argument: %s\n"
+                   "usage: [--port=P] [--shards=N] [--capacity=M] [--topk=K] "
+                   "[--report-ms=MS] [--selftest [--seconds=S] "
+                   "[--clients=C]]\n",
+                   a);
+      std::exit(2);
+    }
+  }
+  return c;
+}
+
+// Per-connection parse state: a partial trailing word survives across
+// reads, and decoded keys pool into `pending` until a batch is worth
+// dispatching.
+struct Connection {
+  int fd = -1;
+  unsigned char partial[8] = {0};
+  size_t partial_len = 0;
+  std::vector<ElementId> pending;
+};
+
+constexpr size_t kDispatchBatch = cots::BatchIngestOptions::kDefaultBatchDepth;
+
+uint64_t DecodeLE64(const unsigned char* p) {
+  uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | p[i];
+  return v;
+}
+
+void EncodeLE64(uint64_t v, unsigned char* p) {
+  for (int i = 0; i < 8; ++i) {
+    p[i] = static_cast<unsigned char>(v >> (8 * i));
+    }
+}
+
+class IngestServer {
+ public:
+  IngestServer(const ServerConfig& config, CotsFleet* fleet)
+      : config_(config), fleet_(fleet) {}
+
+  // Binds and listens; returns the bound port (0 on failure).
+  uint16_t Start() {
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0);
+    if (listen_fd_ < 0) return 0;
+    int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(config_.port);
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+               sizeof(addr)) != 0 ||
+        ::listen(listen_fd_, 64) != 0) {
+      ::close(listen_fd_);
+      return 0;
+    }
+    socklen_t len = sizeof(addr);
+    ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+    epoll_fd_ = ::epoll_create1(0);
+    if (epoll_fd_ < 0) {
+      ::close(listen_fd_);
+      return 0;
+    }
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = listen_fd_;
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev);
+    return ntohs(addr.sin_port);
+  }
+
+  // Runs the event loop until `done` becomes true (selftest) or a signal
+  // arrives. All connection buffers are flushed before returning, so
+  // everything the clients managed to write is counted.
+  void Run(const std::atomic<bool>* done) {
+    auto handle = fleet_->RegisterThread();
+    if (handle == nullptr) {
+      std::fprintf(stderr, "ingest_server: fleet session limit reached\n");
+      return;
+    }
+    auto last_report = std::chrono::steady_clock::now();
+    epoll_event events[64];
+    for (;;) {
+      const bool stopping =
+          g_interrupted != 0 || (done != nullptr && done->load());
+      // Once stopping, keep sweeping with a zero timeout until every
+      // connection has drained: bytes already in socket buffers belong to
+      // accepted writes and must reach the fleet.
+      const int timeout_ms = stopping ? 0 : 100;
+      const int ready = ::epoll_wait(epoll_fd_, events, 64, timeout_ms);
+      if (ready < 0 && errno != EINTR) break;
+      for (int i = 0; i < ready; ++i) {
+        if (events[i].data.fd == listen_fd_) {
+          Accept();
+        } else {
+          Service(events[i].data.fd, handle.get());
+        }
+      }
+      if (stopping && ready <= 0 && connections_.empty()) break;
+      if (!config_.selftest && config_.report_ms > 0) {
+        const auto now = std::chrono::steady_clock::now();
+        if (now - last_report >=
+            std::chrono::milliseconds(config_.report_ms)) {
+          PrintTopK();
+          last_report = now;
+        }
+      }
+    }
+    // Flush any batch still pooled below the dispatch threshold.
+    for (auto& [fd, conn] : connections_) FlushPending(&conn, handle.get());
+    connections_.clear();
+  }
+
+  void Close() {
+    if (epoll_fd_ >= 0) ::close(epoll_fd_);
+    if (listen_fd_ >= 0) ::close(listen_fd_);
+  }
+
+  uint64_t ingested() const { return ingested_; }
+
+  void PrintTopK() const {
+    const cots::CounterSet view = fleet_->GlobalView();
+    std::printf("[top-%zu of %llu ingested, bound %llu]\n", config_.topk,
+                static_cast<unsigned long long>(view.stream_length()),
+                static_cast<unsigned long long>(view.min_freq()));
+    size_t shown = 0;
+    for (const Counter& c : view.counters()) {
+      if (shown++ >= config_.topk) break;
+      std::printf("  key %12llu  est %10llu  err %8llu\n",
+                  static_cast<unsigned long long>(c.key),
+                  static_cast<unsigned long long>(c.count),
+                  static_cast<unsigned long long>(c.error));
+    }
+  }
+
+ private:
+  void Accept() {
+    for (;;) {
+      const int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK);
+      if (fd < 0) return;  // EAGAIN or transient error: nothing to accept
+      epoll_event ev{};
+      ev.events = EPOLLIN;
+      ev.data.fd = fd;
+      if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+        ::close(fd);
+        continue;
+      }
+      Connection conn;
+      conn.fd = fd;
+      conn.pending.reserve(kDispatchBatch);
+      connections_.emplace(fd, std::move(conn));
+    }
+  }
+
+  void Service(int fd, CotsFleet::ThreadHandle* handle) {
+    auto it = connections_.find(fd);
+    if (it == connections_.end()) return;
+    Connection& conn = it->second;
+    unsigned char buf[16384];
+    for (;;) {
+      const ssize_t r = ::read(fd, buf, sizeof(buf));
+      if (r > 0) {
+        Decode(&conn, buf, static_cast<size_t>(r), handle);
+        continue;
+      }
+      if (r < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+      // Peer closed (or hard error): flush and drop the connection.
+      FlushPending(&conn, handle);
+      ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+      ::close(fd);
+      connections_.erase(it);
+      return;
+    }
+  }
+
+  void Decode(Connection* conn, const unsigned char* data, size_t len,
+              CotsFleet::ThreadHandle* handle) {
+    size_t pos = 0;
+    if (conn->partial_len != 0) {
+      while (conn->partial_len < 8 && pos < len) {
+        conn->partial[conn->partial_len++] = data[pos++];
+      }
+      if (conn->partial_len < 8) return;
+      conn->pending.push_back(DecodeLE64(conn->partial));
+      conn->partial_len = 0;
+    }
+    while (len - pos >= 8) {
+      conn->pending.push_back(DecodeLE64(data + pos));
+      pos += 8;
+      if (conn->pending.size() >= kDispatchBatch) FlushPending(conn, handle);
+    }
+    while (pos < len) conn->partial[conn->partial_len++] = data[pos++];
+    if (conn->pending.size() >= kDispatchBatch) FlushPending(conn, handle);
+  }
+
+  void FlushPending(Connection* conn, CotsFleet::ThreadHandle* handle) {
+    if (conn->pending.empty()) return;
+    if (handle->OfferBatch(conn->pending.data(), conn->pending.size())) {
+      ingested_ += conn->pending.size();
+    }  // refused whole: the fleet is stopping, nothing was half-counted
+    conn->pending.clear();
+  }
+
+  ServerConfig config_;
+  CotsFleet* fleet_;
+  int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  std::unordered_map<int, Connection> connections_;
+  uint64_t ingested_ = 0;
+};
+
+// Selftest client: connects to the loopback port and streams zipf-drawn
+// keys until the deadline, returning how many elements it wrote in full.
+uint64_t RunClient(uint16_t port, int seconds, uint64_t seed) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return 0;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return 0;
+  }
+  cots::Xoshiro256 rng(seed);
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(seconds);
+  std::vector<unsigned char> wire(4096 * 8);
+  uint64_t sent = 0;
+  while (std::chrono::steady_clock::now() < deadline) {
+    const size_t burst = 1024 + rng.NextBounded(3072);
+    for (size_t i = 0; i < burst; ++i) {
+      // Skewed synthetic workload: a few hot keys over a long tail.
+      const bool hot = rng.NextBounded(10) < 6;
+      const uint64_t key =
+          hot ? 1 + rng.NextBounded(16) : 1000 + rng.NextBounded(100000);
+      EncodeLE64(key, wire.data() + i * 8);
+    }
+    size_t off = 0;
+    const size_t want = burst * 8;
+    bool ok = true;
+    while (off < want) {
+      const ssize_t w = ::write(fd, wire.data() + off, want - off);
+      if (w <= 0) {
+        ok = false;
+        break;
+      }
+      off += static_cast<size_t>(w);
+    }
+    if (!ok) break;
+    sent += burst;
+  }
+  ::close(fd);
+  return sent;
+}
+
+int RunSelftest(const ServerConfig& config) {
+  CotsFleetOptions opt;
+  opt.num_shards = config.shards;
+  opt.engine.capacity = config.capacity;
+  if (!opt.Validate().ok()) {
+    std::fprintf(stderr, "selftest: invalid fleet options\n");
+    return 1;
+  }
+  CotsFleet fleet(opt);
+  IngestServer server(config, &fleet);
+  const uint16_t port = server.Start();
+  if (port == 0) {
+    std::fprintf(stderr, "selftest: cannot bind loopback socket\n");
+    return 1;
+  }
+  std::printf("selftest: %d client(s) -> 127.0.0.1:%u, %d second(s), "
+              "%zu shard(s)\n",
+              config.clients, port, config.seconds, fleet.num_shards());
+
+  std::atomic<bool> done{false};
+  std::thread server_thread([&] { server.Run(&done); });
+
+  std::vector<std::thread> clients;
+  std::atomic<uint64_t> total_sent{0};
+  for (int c = 0; c < config.clients; ++c) {
+    clients.emplace_back([&, c] {
+      total_sent.fetch_add(
+          RunClient(port, config.seconds, 0x5eed + 31 * c));
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  done.store(true);
+  server_thread.join();
+  server.Close();
+  fleet.Stop();
+
+  server.PrintTopK();
+  const uint64_t sent = total_sent.load();
+  const uint64_t counted = fleet.stream_length();
+  std::printf("selftest: sent %llu, counted %llu\n",
+              static_cast<unsigned long long>(sent),
+              static_cast<unsigned long long>(counted));
+  if (sent == 0) {
+    std::fprintf(stderr, "selftest FAIL: clients sent nothing\n");
+    return 1;
+  }
+  // Conservation: the server flushed every connection before stopping the
+  // fleet, so every element written in full by a client must be counted.
+  if (counted != sent) {
+    std::fprintf(stderr, "selftest FAIL: conservation violated\n");
+    return 1;
+  }
+  std::printf("selftest PASS\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const ServerConfig config = ParseArgs(argc, argv);
+  if (config.selftest) return RunSelftest(config);
+
+  std::signal(SIGINT, OnSignal);
+  std::signal(SIGTERM, OnSignal);
+  std::signal(SIGPIPE, SIG_IGN);
+
+  CotsFleetOptions opt;
+  opt.num_shards = config.shards;
+  opt.engine.capacity = config.capacity;
+  if (!opt.Validate().ok()) {
+    std::fprintf(stderr, "ingest_server: invalid fleet options\n");
+    return 1;
+  }
+  CotsFleet fleet(opt);
+  IngestServer server(config, &fleet);
+  const uint16_t port = server.Start();
+  if (port == 0) {
+    std::fprintf(stderr, "ingest_server: cannot bind 127.0.0.1:%u\n",
+                 config.port);
+    return 1;
+  }
+  std::printf("ingest_server: listening on 127.0.0.1:%u (%zu shard(s), "
+              "capacity %zu); protocol: raw little-endian uint64 keys\n",
+              port, fleet.num_shards(), config.capacity);
+  server.Run(nullptr);
+  server.Close();
+  fleet.Stop();
+  std::printf("ingest_server: stopped after %llu elements\n",
+              static_cast<unsigned long long>(server.ingested()));
+  server.PrintTopK();
+  return 0;
+}
+
+#else  // !__linux__
+
+#include <cstdio>
+
+int main() {
+  std::fprintf(stderr, "ingest_server requires Linux (epoll)\n");
+  return 77;  // conventional "skipped"
+}
+
+#endif  // __linux__

@@ -42,7 +42,15 @@ std::optional<Counter> CounterSet::Lookup(ElementId e) const {
 }
 
 CounterSet CombineCounterSets(const CounterSet& a, const CounterSet& b,
-                              size_t capacity) {
+                              size_t capacity, MergeMode mode) {
+  // In disjoint mode an absent side has provably never counted the key, so
+  // its estimate is inflated by nothing; in overlapping mode by that side's
+  // minimum frequency (it may have counted the key up to min_freq before
+  // any eviction — the merged estimate must stay an upper bound).
+  const uint64_t absent_a =
+      mode == MergeMode::kDisjoint ? 0 : a.min_freq();
+  const uint64_t absent_b =
+      mode == MergeMode::kDisjoint ? 0 : b.min_freq();
   std::vector<Counter> merged;
   merged.reserve(a.num_counters() + b.num_counters());
   for (const Counter& ca : a.counters()) {
@@ -51,26 +59,29 @@ CounterSet CombineCounterSets(const CounterSet& a, const CounterSet& b,
       c.count += cb->count;
       c.error += cb->error;
     } else {
-      // b may have counted this key up to its minimum frequency before any
-      // eviction; the merged estimate must stay an upper bound.
-      c.count += b.min_freq();
-      c.error += b.min_freq();
+      c.count += absent_b;
+      c.error += absent_b;
     }
     merged.push_back(c);
   }
   for (const Counter& cb : b.counters()) {
     if (a.Lookup(cb.key).has_value()) continue;  // already merged above
     Counter c = cb;
-    c.count += a.min_freq();
-    c.error += a.min_freq();
+    c.count += absent_a;
+    c.error += absent_a;
     merged.push_back(c);
   }
   std::sort(merged.begin(), merged.end(), ByCountDescending);
 
-  uint64_t min_freq = a.min_freq() + b.min_freq();
+  // Unmonitored-key bound: an unmonitored key may have been counted up to
+  // min_freq in every part that could have seen it — all of them when parts
+  // overlap (sum), exactly its home shard when keys are partitioned (max).
+  uint64_t min_freq = mode == MergeMode::kDisjoint
+                          ? std::max(a.min_freq(), b.min_freq())
+                          : a.min_freq() + b.min_freq();
   if (capacity != 0 && merged.size() > capacity) {
-    // Keys dropped by truncation may have estimates above min_a + min_b;
-    // the merged bound on any unmonitored key must cover them.
+    // Keys dropped by truncation may have estimates above the composed
+    // bound; the merged bound on any unmonitored key must cover them.
     min_freq = std::max(min_freq, merged[capacity].count);
     merged.resize(capacity);
   }
@@ -79,21 +90,21 @@ CounterSet CombineCounterSets(const CounterSet& a, const CounterSet& b,
 }
 
 CounterSet MergeSerial(const std::vector<const FrequencySummary*>& parts,
-                       const std::vector<uint64_t>& min_freqs,
-                       size_t capacity) {
+                       const std::vector<uint64_t>& min_freqs, size_t capacity,
+                       MergeMode mode) {
   assert(parts.size() == min_freqs.size());
   if (parts.empty()) return CounterSet();
   CounterSet acc = CounterSet::FromSummary(*parts[0], min_freqs[0]);
   for (size_t i = 1; i < parts.size(); ++i) {
     acc = CombineCounterSets(
-        acc, CounterSet::FromSummary(*parts[i], min_freqs[i]), capacity);
+        acc, CounterSet::FromSummary(*parts[i], min_freqs[i]), capacity, mode);
   }
   return acc;
 }
 
 CounterSet MergeHierarchical(const std::vector<const FrequencySummary*>& parts,
                              const std::vector<uint64_t>& min_freqs,
-                             size_t capacity) {
+                             size_t capacity, MergeMode mode) {
   assert(parts.size() == min_freqs.size());
   if (parts.empty()) return CounterSet();
   std::vector<CounterSet> level;
@@ -108,9 +119,9 @@ CounterSet MergeHierarchical(const std::vector<const FrequencySummary*>& parts,
       std::vector<std::thread> workers;
       workers.reserve(pairs);
       for (size_t p = 0; p < pairs; ++p) {
-        workers.emplace_back([&level, &next, capacity, p] {
-          next[p] =
-              CombineCounterSets(level[2 * p], level[2 * p + 1], capacity);
+        workers.emplace_back([&level, &next, capacity, mode, p] {
+          next[p] = CombineCounterSets(level[2 * p], level[2 * p + 1],
+                                       capacity, mode);
         });
       }
       for (std::thread& w : workers) w.join();

@@ -13,6 +13,14 @@
 // its minimum frequency, so the merged estimate adds min_freq (and the same
 // amount of error) for the absent side. After truncation to capacity the
 // merged min_freq is raised to bound keys that were dropped.
+//
+// A second combine mode serves hash-partitioned summaries (the CoTS fleet):
+// when every key lives in exactly one part, an absent side has provably
+// counted the key zero times, so no min_freq inflation is added and the
+// bound on a fully unmonitored key composes by max (the key hashes to SOME
+// shard, and that shard's min_freq bounds it) instead of by sum. Disjoint
+// merges are therefore exact unions of the per-shard estimates — each key
+// keeps its home shard's error — and only truncation loosens them.
 
 #ifndef COTS_CORE_SUMMARY_MERGE_H_
 #define COTS_CORE_SUMMARY_MERGE_H_
@@ -24,6 +32,18 @@
 #include "core/counter.h"
 
 namespace cots {
+
+/// How the key spaces of the parts being merged relate (see file comment).
+enum class MergeMode : uint8_t {
+  /// Every part may have seen every key (the Independent Structures
+  /// baseline): an absent side inflates estimate and error by its min_freq,
+  /// and unmonitored-key bounds compose by sum.
+  kOverlapping,
+  /// Keys are hash-partitioned so each key was routed to exactly one part
+  /// (the CoTS fleet): absent sides contribute nothing and unmonitored-key
+  /// bounds compose by max.
+  kDisjoint,
+};
 
 /// A self-contained merged summary: counters sorted by descending estimate.
 /// Also usable as a FrequencySummary for the query layer.
@@ -59,12 +79,13 @@ class CounterSet : public FrequencySummary {
 
 /// Pairwise combine, truncated to `capacity` counters (0 = unbounded).
 CounterSet CombineCounterSets(const CounterSet& a, const CounterSet& b,
-                              size_t capacity);
+                              size_t capacity,
+                              MergeMode mode = MergeMode::kOverlapping);
 
 /// Left-to-right fold by a single thread.
 CounterSet MergeSerial(const std::vector<const FrequencySummary*>& parts,
-                       const std::vector<uint64_t>& min_freqs,
-                       size_t capacity);
+                       const std::vector<uint64_t>& min_freqs, size_t capacity,
+                       MergeMode mode = MergeMode::kOverlapping);
 
 /// Tree reduction; each level merges pairs concurrently using std::thread.
 /// With p parts this spawns ceil(p/2) threads per level over ceil(log2 p)
@@ -72,7 +93,8 @@ CounterSet MergeSerial(const std::vector<const FrequencySummary*>& parts,
 /// the paper blames for hierarchical merge not beating serial merge.
 CounterSet MergeHierarchical(const std::vector<const FrequencySummary*>& parts,
                              const std::vector<uint64_t>& min_freqs,
-                             size_t capacity);
+                             size_t capacity,
+                             MergeMode mode = MergeMode::kOverlapping);
 
 }  // namespace cots
 

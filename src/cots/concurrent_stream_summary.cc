@@ -29,7 +29,10 @@ ConcurrentStreamSummary::ConcurrentStreamSummary(
     EpochManager* epochs)
     : capacity_(options.capacity),
       always_admit_(options.always_admit),
-      sentinel_(new FreqBucket(0)),
+      ring_capacity_(options.request_ring_capacity != 0
+                         ? options.request_ring_capacity
+                         : RequestQueue::kDefaultRingCapacity),
+      sentinel_(new FreqBucket(0, ring_capacity_)),
       table_(table),
       epochs_(epochs) {
   assert(capacity_ > 0 && "Validate() the options first");
@@ -247,7 +250,7 @@ bool ConcurrentStreamSummary::PlaceNode(FreqBucket* bucket, SummaryNode* node,
     if (next == nullptr || next->freq > node->freq) {
       // No bucket for this frequency yet: create and link it here.
       // (FindDestBucket's first case.)
-      FreqBucket* fresh = new FreqBucket(node->freq);
+      FreqBucket* fresh = new FreqBucket(node->freq, ring_capacity_);
       stats_.buckets_created.fetch_add(1, std::memory_order_relaxed);
       AttachNode(fresh, node);
       fresh->next.store(next, std::memory_order_relaxed);

@@ -105,7 +105,9 @@ struct SummaryNode {
 /// A frequency bucket (Figure 10): immutable frequency, element list,
 /// request queue, ownership flag, GC mark.
 struct FreqBucket {
-  explicit FreqBucket(uint64_t f) : freq(f) {}
+  explicit FreqBucket(uint64_t f,
+                      size_t ring_capacity = RequestQueue::kDefaultRingCapacity)
+      : freq(f), queue(ring_capacity) {}
 
   const uint64_t freq;
   std::atomic<FreqBucket*> next{nullptr};
@@ -137,6 +139,14 @@ struct ConcurrentStreamSummaryOptions {
   /// sizing hint — the Lossy Counting adaptation (Section 5.3), which
   /// bounds space by periodic eviction instead of overwrites.
   bool always_admit = false;
+  /// Capacity of each bucket's MPSC request ring (rounded up to a power of
+  /// two; 0 = RequestQueue::kDefaultRingCapacity). Engines derive this from
+  /// their ingest batch depth: a coalesced batch can funnel one request per
+  /// distinct key into a single destination bucket while the producer holds
+  /// another bucket and cannot drain, so an undersized ring diverts the
+  /// burst to the mutex overflow fallback ("request_queue.fallback_
+  /// allocations") instead of staying lock-free.
+  size_t request_ring_capacity = 0;
 
   Status Validate();
 };
@@ -316,6 +326,7 @@ class ConcurrentStreamSummary {
 
   size_t capacity_;
   bool always_admit_ = false;
+  size_t ring_capacity_ = RequestQueue::kDefaultRingCapacity;
   std::atomic<size_t> monitored_{0};
   FreqBucket* sentinel_;
   DelegationHashTable* table_;

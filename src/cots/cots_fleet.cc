@@ -1,0 +1,240 @@
+#include "cots/cots_fleet.h"
+
+#include <cassert>
+#include <thread>
+
+#include "util/failpoint.h"
+#include "util/metrics.h"
+#include "util/thread_utils.h"
+
+namespace cots {
+
+namespace {
+
+/// Fleet-level copy of the engine's offer bracket (see cots_space_saving.cc):
+/// seq_cst entry increment + state check versus Stop()'s seq_cst Draining
+/// CAS + inflight wait form the same Dekker handshake one level up.
+class InflightScope {
+ public:
+  explicit InflightScope(std::atomic<uint64_t>* counter) : counter_(counter) {
+    counter_->fetch_add(1, std::memory_order_seq_cst);
+  }
+  ~InflightScope() { counter_->fetch_sub(1, std::memory_order_release); }
+
+ private:
+  std::atomic<uint64_t>* counter_;
+};
+
+// Same finalizer-strength mix as the hash table's BucketFor. The shard
+// index takes the product's high 64 bits (Lemire reduction) while the
+// in-shard bucket index takes a modulus, so the two splits of the same
+// mixed value stay effectively independent.
+inline uint64_t MixKey(ElementId e) {
+  uint64_t h = e;
+  h ^= h >> 33;
+  h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
+  return h;
+}
+
+CotsFleetOptions ValidatedOptions(CotsFleetOptions options) {
+  const Status status = options.Validate();
+  assert(status.ok() && "invalid CotsFleetOptions");
+  (void)status;
+  // Release-build clamps, mirroring the engine's ValidatedOptions: a fleet
+  // must never be constructed in a shape that can hang its own teardown.
+  if (options.num_shards == 0) options.num_shards = 1;
+  if (options.engine.capacity == 0 && options.engine.epsilon <= 0.0) {
+    options.engine.capacity = 1;
+  }
+  if (options.merge_capacity == 0) {
+    options.merge_capacity = options.engine.capacity;
+  }
+  return options;
+}
+
+}  // namespace
+
+Status CotsFleetOptions::Validate() {
+  if (num_shards == 0) {
+    num_shards = static_cast<size_t>(HardwareConcurrency());
+    if (num_shards == 0) num_shards = 1;
+  }
+  if (num_shards > 4096) {
+    return Status::InvalidArgument("num_shards must be at most 4096");
+  }
+  Status engine_status = engine.Validate();
+  if (!engine_status.ok()) return engine_status;
+  if (merge_capacity == 0) merge_capacity = engine.capacity;
+  return Status::OK();
+}
+
+CotsFleet::CotsFleet(const CotsFleetOptions& options)
+    : options_(ValidatedOptions(options)) {
+  shards_.reserve(options_.num_shards);
+  for (size_t s = 0; s < options_.num_shards; ++s) {
+    shards_.push_back(std::make_unique<CotsSpaceSaving>(options_.engine));
+  }
+}
+
+CotsFleet::~CotsFleet() {
+  // Freeze the fleet before any shard destructs: a shard destructor also
+  // stops itself, but going through the fleet protocol first guarantees no
+  // fleet-level offer is mid-dispatch while shards tear down.
+  Stop();
+}
+
+size_t CotsFleet::ShardOf(ElementId e) const {
+  // Lemire reduction: high bits of mix * num_shards, uniform without a
+  // division and without requiring a power-of-two shard count.
+  return static_cast<size_t>(
+      (static_cast<unsigned __int128>(MixKey(e)) * shards_.size()) >> 64);
+}
+
+std::unique_ptr<CotsFleet::ThreadHandle> CotsFleet::RegisterThread() {
+  std::unique_ptr<ThreadHandle> handle(new ThreadHandle(this));
+  for (const auto& shard_handle : handle->shards_) {
+    if (shard_handle == nullptr) return nullptr;
+  }
+  return handle;
+}
+
+void CotsFleet::Stop() {
+  EngineState expected = EngineState::kRunning;
+  if (!state_.compare_exchange_strong(expected, EngineState::kDraining,
+                                      std::memory_order_seq_cst)) {
+    while (state_.load(std::memory_order_acquire) != EngineState::kStopped) {
+      std::this_thread::yield();
+    }
+    return;
+  }
+  // Every offer that won the handshake before the CAS above is visible in
+  // inflight_offers_; every later offer observes Draining and refuses
+  // before touching any shard. Shards stay Running through this wait, so a
+  // winning offer's per-shard dispatches cannot be refused downstream —
+  // that is what makes fleet offers all-or-nothing.
+  while (inflight_offers_.load(std::memory_order_seq_cst) != 0) {
+    COTS_FAILPOINT("fleet.drain_wait");
+    std::this_thread::yield();
+  }
+  for (const auto& shard : shards_) {
+    // Perturbation point between shard drains: stopping shard k while
+    // k+1..N still answer queries widens the window where a global view
+    // folds stopped and running shards together.
+    COTS_FAILPOINT("fleet.drain_shard");
+    shard->Stop();
+  }
+  state_.store(EngineState::kStopped, std::memory_order_release);
+}
+
+CotsFleet::ThreadHandle::ThreadHandle(CotsFleet* fleet)
+    : fleet_(fleet),
+      shards_(fleet->num_shards()),
+      route_(fleet->num_shards()) {
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    shards_[s] = fleet->shards_[s]->RegisterThread();
+  }
+}
+
+bool CotsFleet::ThreadHandle::Offer(ElementId e, uint64_t weight) {
+  InflightScope inflight(&fleet_->inflight_offers_);
+  if (fleet_->state_.load(std::memory_order_seq_cst) !=
+      EngineState::kRunning) {
+    return false;
+  }
+  COTS_FAILPOINT("fleet.dispatch_shard");
+  const bool counted = shards_[fleet_->ShardOf(e)]->Offer(e, weight);
+  // The fleet handshake was won, so the shard is still Running (Stop()
+  // cannot pass the inflight wait until this scope exits).
+  assert(counted);
+  return counted;
+}
+
+bool CotsFleet::ThreadHandle::OfferBatch(const ElementId* elements,
+                                         size_t count) {
+  if (count == 0) return true;
+  InflightScope inflight(&fleet_->inflight_offers_);
+  if (fleet_->state_.load(std::memory_order_seq_cst) !=
+      EngineState::kRunning) {
+    return false;
+  }
+  if (shards_.size() == 1) {
+    COTS_FAILPOINT("fleet.dispatch_shard");
+    const bool counted = shards_[0]->OfferBatch(elements, count);
+    assert(counted);
+    return counted;
+  }
+  // One pass partitions the batch while keeping per-shard arrival order;
+  // the buffers are cleared on entry (not exit) so nothing leaks across
+  // calls even if a dispatch asserts out mid-way in a debug build.
+  for (std::vector<ElementId>& r : route_) r.clear();
+  for (size_t i = 0; i < count; ++i) {
+    route_[fleet_->ShardOf(elements[i])].push_back(elements[i]);
+  }
+  uint64_t touched = 0;
+  for (size_t s = 0; s < route_.size(); ++s) {
+    if (route_[s].empty()) continue;
+    ++touched;
+    // Perturbation point between per-shard dispatches: a batch that is
+    // half-landed across shards is exactly the state the drain protocol
+    // must wait out.
+    COTS_FAILPOINT("fleet.dispatch_shard");
+    const bool counted =
+        shards_[s]->OfferBatch(route_[s].data(), route_[s].size());
+    assert(counted);
+    if (!counted) return false;  // unreachable; see Offer
+  }
+  COTS_HISTOGRAM_RECORD("fleet.batch_shards_touched", touched);
+  return true;
+}
+
+std::optional<Counter> CotsFleet::ThreadHandle::Lookup(ElementId e) const {
+  return shards_[fleet_->ShardOf(e)]->Lookup(e);
+}
+
+CounterSet CotsFleet::GlobalView() const {
+  std::vector<const FrequencySummary*> views;
+  std::vector<uint64_t> mins;
+  views.reserve(shards_.size());
+  mins.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    views.push_back(shard.get());
+    mins.push_back(shard->MinFreq());
+  }
+  return options_.hierarchical_merge
+             ? MergeHierarchical(views, mins, options_.merge_capacity,
+                                 MergeMode::kDisjoint)
+             : MergeSerial(views, mins, options_.merge_capacity,
+                           MergeMode::kDisjoint);
+}
+
+uint64_t CotsFleet::MinFreq() const {
+  uint64_t bound = 0;
+  for (const auto& shard : shards_) {
+    const uint64_t m = shard->MinFreq();
+    if (m > bound) bound = m;
+  }
+  return bound;
+}
+
+std::optional<Counter> CotsFleet::Lookup(ElementId e) const {
+  return shards_[ShardOf(e)]->Lookup(e);
+}
+
+std::vector<Counter> CotsFleet::CountersDescending() const {
+  return GlobalView().CountersDescending();
+}
+
+uint64_t CotsFleet::stream_length() const {
+  uint64_t n = 0;
+  for (const auto& shard : shards_) n += shard->stream_length();
+  return n;
+}
+
+size_t CotsFleet::num_counters() const {
+  size_t monitored = 0;
+  for (const auto& shard : shards_) monitored += shard->num_counters();
+  return monitored;
+}
+
+}  // namespace cots

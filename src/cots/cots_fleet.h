@@ -1,0 +1,164 @@
+// Copyright (c) the CoTS reproduction authors.
+//
+// CotsFleet: shard-per-core scale-out of the CoTS engine (DESIGN.md §9).
+//
+// One CotsSpaceSaving engine scales by cooperative delegation *within* a
+// shared structure; the fleet scales *across* structures by hash-
+// partitioning the element space over N independent engines:
+//
+//   worker thread --> ShardOf(e) ----> shard 0: CotsSpaceSaving
+//                        |        \--> shard 1: CotsSpaceSaving
+//                        v         \-> ...
+//                     (batch router: per-shard buffers, one
+//                      OfferBatch per touched shard)
+//
+// Every occurrence of a key lands on exactly one shard, so shards share
+// nothing on the ingest path — no delegation, no queue traffic, no cache
+// lines cross shard boundaries. Global queries fold the per-shard
+// summaries counter-wise with MergeMode::kDisjoint (core/summary_merge.h):
+// each key keeps its home shard's estimate and error verbatim, and the
+// bound on a fully unmonitored key is the max of the per-shard min_freqs
+// (the key hashes to SOME shard, and that shard's bound covers it), not
+// the sum. Partitioning only tightens per-shard error: each shard sees
+// n_s <= n elements against the same m counters.
+//
+// Lifecycle mirrors the engine (DESIGN.md §8) one level up: the fleet has
+// its own Running/Draining/Stopped state and in-flight counter, and its
+// offers resolve all-or-nothing — a batch is either counted in full
+// (across every shard it touches) or refused in full. Stop() first wins
+// the fleet-level Dekker handshake and waits out in-flight fleet offers
+// (during which the shard engines are still Running, so a fleet offer
+// that won the handshake can never be refused downstream), then stops the
+// shards one by one. Failpoints "fleet.dispatch_shard", "fleet.drain_wait"
+// and "fleet.drain_shard" perturb the router and drain interleavings.
+
+#ifndef COTS_COTS_COTS_FLEET_H_
+#define COTS_COTS_COTS_FLEET_H_
+
+#include <atomic>
+#include <memory>
+#include <vector>
+
+#include "core/counter.h"
+#include "core/summary_merge.h"
+#include "cots/cots_space_saving.h"
+#include "util/macros.h"
+#include "util/status.h"
+
+namespace cots {
+
+struct CotsFleetOptions {
+  /// Independent engine shards; 0 = one per hardware thread.
+  size_t num_shards = 0;
+  /// Per-shard engine configuration; every shard gets it verbatim. The
+  /// fleet's total counter budget is num_shards * engine.capacity, and the
+  /// per-shard error bound n_s / capacity only tightens versus a single
+  /// engine fed the whole stream.
+  CotsSpaceSavingOptions engine;
+  /// Counters retained by merged global views; 0 = engine.capacity.
+  size_t merge_capacity = 0;
+  /// Fold shard summaries with the tree merge instead of the serial fold.
+  /// Off by default: with shard counts in the single digits the serial
+  /// fold wins (the paper's hierarchical-merge result, Section 4.1).
+  bool hierarchical_merge = false;
+
+  Status Validate();
+};
+
+/// N hash-partitioned CotsSpaceSaving engines behind one ingest/query
+/// facade. Thread-compatible the same way the engine is: register a
+/// ThreadHandle per worker, destroy all handles before the fleet.
+class CotsFleet : public FrequencySummary {
+ public:
+  /// Per-thread session holding one engine handle per shard plus the
+  /// routing scratch. Single-threaded by contract, like the engine's.
+  class ThreadHandle {
+   public:
+    ~ThreadHandle() = default;
+    COTS_DISALLOW_COPY_AND_ASSIGN(ThreadHandle);
+
+    /// Counts `weight` occurrences of e on its home shard. Returns false —
+    /// nothing counted — once fleet Stop() has begun (see OfferBatch).
+    bool Offer(ElementId e, uint64_t weight = 1);
+
+    /// Routes the batch into per-shard buffers and dispatches one engine
+    /// OfferBatch per touched shard (the shard batch inherits the engine's
+    /// prefetch + coalescing pipeline). All-or-nothing against Stop():
+    /// the fleet-level handshake is taken once for the whole batch, so
+    /// either every element is counted on its shard or the batch is
+    /// refused in full — shards are never left half-applied. Buffers are
+    /// flushed before returning; nothing is carried across calls.
+    bool OfferBatch(const ElementId* elements, size_t count);
+
+    /// Lock-free point lookup on the element's home shard.
+    std::optional<Counter> Lookup(ElementId e) const;
+
+   private:
+    friend class CotsFleet;
+    explicit ThreadHandle(CotsFleet* fleet);
+
+    CotsFleet* fleet_;
+    std::vector<std::unique_ptr<CotsSpaceSaving::ThreadHandle>> shards_;
+    // Reused per call; per-shard so one pass over the input both
+    // partitions and preserves per-shard arrival order.
+    std::vector<std::vector<ElementId>> route_;
+  };
+
+  /// Validates options the same way the engine does (asserts in debug,
+  /// clamps to a functional configuration in release).
+  explicit CotsFleet(const CotsFleetOptions& options);
+  ~CotsFleet() override;
+
+  COTS_DISALLOW_COPY_AND_ASSIGN(CotsFleet);
+
+  /// Registers the calling thread with every shard. Returns nullptr when
+  /// any shard is out of sessions (engine.max_threads bounds each shard).
+  std::unique_ptr<ThreadHandle> RegisterThread();
+
+  /// Quiesces the fleet: wins the fleet-level handshake (subsequent offers
+  /// are refused whole), waits out in-flight fleet offers, then stops each
+  /// shard in turn. Idempotent and thread-safe; concurrent callers block
+  /// until the structure is frozen. After Stop() the merged views are
+  /// stable and exact with respect to everything that was counted.
+  void Stop();
+
+  EngineState state() const { return state_.load(std::memory_order_acquire); }
+
+  size_t num_shards() const { return shards_.size(); }
+  /// Home shard of e (Lemire reduction over the mixed key).
+  size_t ShardOf(ElementId e) const;
+  /// Direct shard access (tests, diagnostics). Do not Stop() a shard
+  /// directly — the fleet's drain protocol owns shard lifecycle.
+  CotsSpaceSaving& shard(size_t i) { return *shards_[i]; }
+  const CotsSpaceSaving& shard(size_t i) const { return *shards_[i]; }
+
+  /// Counter-wise disjoint merge of every shard (truncated to
+  /// merge_capacity counters). Live calls see a racy-but-valid snapshot;
+  /// call after Stop() for exact totals.
+  CounterSet GlobalView() const;
+
+  /// Bound on any unmonitored element's global frequency: the max of the
+  /// per-shard bounds (each element lives on exactly one shard).
+  uint64_t MinFreq() const;
+
+  // FrequencySummary over the merged global view. Lookup routes to the
+  // home shard; CountersDescending folds all shards (O(shards * capacity)
+  // — prefer GlobalView() when the bound matters too).
+  std::optional<Counter> Lookup(ElementId e) const override;
+  std::vector<Counter> CountersDescending() const override;
+  uint64_t stream_length() const override;
+  size_t num_counters() const override;
+
+ private:
+  CotsFleetOptions options_;  // validated
+  std::vector<std::unique_ptr<CotsSpaceSaving>> shards_;
+
+  std::atomic<EngineState> state_{EngineState::kRunning};
+  /// Fleet offers between the handshake and their last shard dispatch;
+  /// Stop() waits for zero before touching any shard (see cots_fleet.cc).
+  std::atomic<uint64_t> inflight_offers_{0};
+};
+
+}  // namespace cots
+
+#endif  // COTS_COTS_COTS_FLEET_H_

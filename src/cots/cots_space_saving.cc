@@ -45,6 +45,9 @@ Status CotsSpaceSavingOptions::Validate() {
   if (max_threads <= 1) {
     return Status::InvalidArgument("max_threads must be at least 2");
   }
+  if (request_ring_capacity == 0) {
+    request_ring_capacity = BatchIngestOptions::kDefaultBatchDepth / 4;
+  }
   return Status::OK();
 }
 
@@ -61,6 +64,7 @@ ConcurrentStreamSummaryOptions SummaryOptions(
     const CotsSpaceSavingOptions& opt) {
   ConcurrentStreamSummaryOptions sopt;
   sopt.capacity = opt.capacity;
+  sopt.request_ring_capacity = opt.request_ring_capacity;
   return sopt;
 }
 
@@ -81,6 +85,9 @@ CotsSpaceSavingOptions ValidatedOptions(CotsSpaceSavingOptions options) {
     options.hash_block_entries = 2;
   }
   if (options.max_threads <= 1) options.max_threads = 2;
+  if (options.request_ring_capacity == 0) {
+    options.request_ring_capacity = BatchIngestOptions::kDefaultBatchDepth / 4;
+  }
   return options;
 }
 

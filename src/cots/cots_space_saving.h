@@ -43,6 +43,15 @@ namespace cots {
 /// micro_components sweeps them (batch size x prefetch distance x
 /// coalescing on/off) to justify the numbers.
 struct BatchIngestOptions {
+  /// The batch depth callers are expected to feed OfferBatch in steady
+  /// state (the bench loops and the fleet's shard buffers use exactly
+  /// this). Engines size their per-bucket request rings from it: one
+  /// coalesced batch can funnel one request per distinct key into a single
+  /// destination bucket while the producer holds another bucket, so an
+  /// undersized ring diverts the burst tail to the mutex overflow fallback
+  /// (see CotsSpaceSavingOptions::request_ring_capacity).
+  static constexpr size_t kDefaultBatchDepth = 512;
+
   /// How many elements ahead of the cursor to prefetch hash buckets for;
   /// 0 disables prefetching. ~8 covers an L2 miss at typical per-element
   /// processing cost.
@@ -73,6 +82,19 @@ struct CotsSpaceSavingOptions {
   /// Epoch-reclamation slots: upper bound on concurrently registered
   /// threads (workers + queriers).
   int max_threads = 256;
+  /// Per-bucket MPSC request-ring capacity (rounded up to a power of two).
+  /// 0 derives it from the ingest batch depth as
+  /// BatchIngestOptions::kDefaultBatchDepth / 4 (= 128), which absorbs the
+  /// typical coalesced-batch burst into one bucket (ingest.batch_distinct
+  /// mean ~36) while the slot array stays L1-resident. Sizing the ring to
+  /// the full batch depth eliminates the remaining tail of overflow
+  /// fallbacks but costs several× in single-thread throughput at high
+  /// skew: tickets advance monotonically, so the enqueue/drain working set
+  /// is the whole array, and a multi-KB ring per hot bucket thrashes the
+  /// cache the hot path lives in. The rare deep burst diverts to the
+  /// mutex overflow vector, which is the designed elastic path, not an
+  /// error.
+  size_t request_ring_capacity = 0;
 
   Status Validate();
 };

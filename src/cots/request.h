@@ -30,10 +30,10 @@
 #ifndef COTS_COTS_REQUEST_H_
 #define COTS_COTS_REQUEST_H_
 
-#include <array>
 #include <atomic>
 #include <cstdint>
 #include <iterator>
+#include <memory>
 #include <vector>
 
 #include "stream/stream.h"
@@ -87,17 +87,27 @@ struct Request {
 /// fallback.
 class RequestQueue {
  public:
-  /// Ring capacity (requests). Sized so a bucket's ring absorbs a full
-  /// burst of delegations from every worker between two holder drains; a
-  /// 64-slot ring of 64-byte slots is 4 KiB per bucket.
-  static constexpr size_t kRingCapacity = 64;
+  /// Default ring capacity (requests) when the owner passes none. The right
+  /// size depends on the ingest batch depth: one coalesced batch can funnel
+  /// O(batch) requests into a single destination bucket while the producer
+  /// still holds another bucket (and so cannot drain), which is why engines
+  /// size their rings from BatchIngestOptions rather than this constant.
+  static constexpr size_t kDefaultRingCapacity = 64;
 
-  RequestQueue() {
-    for (size_t i = 0; i < kRingCapacity; ++i) {
-      ring_[i].seq.store(i, std::memory_order_relaxed);
-    }
-  }
+  /// `capacity` is rounded up to a power of two (minimum 2). Memory is
+  /// ~56 bytes per slot, but the slot array is allocated lazily on the
+  /// first enqueue: frequency buckets are created and destroyed at element
+  /// rate under churn, and most live their whole life without ever
+  /// receiving a delegated request, so eagerly paying a deep ring per
+  /// bucket construction would dominate the ingest hot path. Only the hot
+  /// long-lived buckets that actually take delegation traffic materialize
+  /// their rings.
+  explicit RequestQueue(size_t capacity = kDefaultRingCapacity)
+      : ring_mask_(RoundUpPowerOfTwo(capacity) - 1) {}
+  ~RequestQueue() { delete[] ring_.load(std::memory_order_acquire); }
   COTS_DISALLOW_COPY_AND_ASSIGN(RequestQueue);
+
+  size_t ring_capacity() const { return ring_mask_ + 1; }
 
   /// Returns false iff the queue is closed; the request was NOT logged and
   /// the caller must re-route it. Lock-free: claims a ticket with one CAS
@@ -111,11 +121,12 @@ class RequestQueue {
     if (COTS_FAILPOINT_TRIGGERED("request_queue.force_overflow")) {
       return EnqueueOverflow(request);
     }
+    Slot* const ring = AcquireRing();
     bool saw_full = false;
     for (int full_spins = 0;;) {
       uint64_t ticket = tail_.load(std::memory_order_acquire);
       if (COTS_UNLIKELY(ticket & kClosedBit)) return false;
-      Slot& slot = ring_[ticket & kRingMask];
+      Slot& slot = ring[ticket & ring_mask_];
       const uint64_t seq = slot.seq.load(std::memory_order_acquire);
       const int64_t diff = static_cast<int64_t>(seq - ticket);
       if (COTS_LIKELY(diff == 0)) {
@@ -151,8 +162,13 @@ class RequestQueue {
     uint64_t head = head_.load(std::memory_order_relaxed);
     const uint64_t tail = tail_.load(std::memory_order_acquire) & ~kClosedBit;
     size_t drained = 0;
+    // tail > head implies some producer won a ticket CAS, which happens
+    // after its ring install/observe — the acquire load of tail_ above
+    // therefore makes the installed array visible here.
+    Slot* const ring =
+        head != tail ? ring_.load(std::memory_order_acquire) : nullptr;
     while (head != tail) {
-      Slot& slot = ring_[head & kRingMask];
+      Slot& slot = ring[head & ring_mask_];
       bool published = true;
       for (int spins = 0;
            slot.seq.load(std::memory_order_acquire) != head + 1; ++spins) {
@@ -169,7 +185,7 @@ class RequestQueue {
       if (!published) break;
       out->push_back(slot.item);
       // Recycle the slot for the producer one lap ahead.
-      slot.seq.store(head + kRingCapacity, std::memory_order_release);
+      slot.seq.store(head + ring_mask_ + 1, std::memory_order_release);
       ++head;
       ++drained;
     }
@@ -220,9 +236,13 @@ class RequestQueue {
 
  private:
   static constexpr uint64_t kClosedBit = uint64_t{1} << 63;
-  static constexpr uint64_t kRingMask = kRingCapacity - 1;
-  static_assert((kRingCapacity & kRingMask) == 0,
-                "ring capacity must be a power of two");
+
+  static constexpr size_t RoundUpPowerOfTwo(size_t v) {
+    size_t p = 2;
+    while (p < v) p <<= 1;
+    return p;
+  }
+
   /// Full-ring producer retries before diverting to the overflow fallback.
   static constexpr int kFullSpinLimit = 256;
   /// Consumer waits on a claimed-but-unpublished slot before giving up the
@@ -238,6 +258,28 @@ class RequestQueue {
   static_assert(sizeof(std::atomic<uint64_t>) + sizeof(Request) <=
                     kCacheLineSize,
                 "a slot should not straddle cache lines");
+
+  /// Returns the slot array, materializing it on the first call. Racing
+  /// producers may each build an array; one install CAS wins and the
+  /// losers free theirs. The winner's relaxed seq stores are published by
+  /// the release CAS (losers pick them up through the failure acquire
+  /// load), so every producer sees fully initialized slots.
+  Slot* AcquireRing() {
+    Slot* ring = ring_.load(std::memory_order_acquire);
+    if (COTS_LIKELY(ring != nullptr)) return ring;
+    Slot* fresh = new Slot[ring_mask_ + 1];
+    for (size_t i = 0; i <= ring_mask_; ++i) {
+      fresh[i].seq.store(i, std::memory_order_relaxed);
+    }
+    Slot* expected = nullptr;
+    if (ring_.compare_exchange_strong(expected, fresh,
+                                      std::memory_order_acq_rel,
+                                      std::memory_order_acquire)) {
+      return fresh;
+    }
+    delete[] fresh;
+    return expected;
+  }
 
   bool EnqueueOverflow(const Request& request) {
     std::lock_guard<SpinLock> guard(overflow_mu_);
@@ -269,7 +311,11 @@ class RequestQueue {
   /// Consumer cursor; written only by the bucket holder (bucket ownership
   /// hands it off with acquire/release), read by size()/empty() probes.
   COTS_CACHE_ALIGNED std::atomic<uint64_t> head_{0};
-  COTS_CACHE_ALIGNED std::array<Slot, kRingCapacity> ring_;
+  const uint64_t ring_mask_;
+  /// Lazily materialized slot array (see AcquireRing); null until the
+  /// first enqueue. Freed only by the destructor — the array never
+  /// changes once installed, so readers need no reclamation protocol.
+  std::atomic<Slot*> ring_{nullptr};
 
   // Overflow fallback; empty in steady state (see file comment).
   SpinLock overflow_mu_;

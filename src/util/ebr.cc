@@ -49,10 +49,29 @@ void EpochParticipant::RetireRaw(void* ptr, void (*deleter)(void*)) {
     bucket.epoch = e;
   }
   bucket.nodes.push_back(GarbageNode{ptr, deleter});
-  // Backlog per epoch slot: growth here means epochs advance too slowly
-  // for the churn rate and memory is pooling behind the grace period.
-  COTS_HISTOGRAM_RECORD("ebr.retire_backlog", bucket.nodes.size());
-  if (++retires_since_advance_ >= kAdvanceEveryRetires) {
+  // Backlog across all epoch buckets: growth here means epochs advance too
+  // slowly for the churn rate and memory is pooling behind the grace
+  // period. Summed (not per-bucket) because after an advance the pooled
+  // garbage lives in an older bucket the current epoch no longer pushes to.
+  size_t backlog = 0;
+  for (const GarbageBucket& b : buckets_) backlog += b.nodes.size();
+  COTS_HISTOGRAM_RECORD("ebr.retire_backlog", backlog);
+  if (COTS_UNLIKELY(backlog >= kForcedAdvanceBacklog)) {
+    // A parked laggard defeats the periodic cadence below: every attempt
+    // fails while garbage pools behind the grace period (retire_backlog
+    // mean ~970 with 26k laggard-blocked advances in BENCH_throughput.json
+    // before this path existed). Escalate to an attempt per retire so the
+    // first retire after the laggard unpins unwedges immediately, and free
+    // whatever the successful advance made reclaimable right here instead
+    // of waiting for this thread's next Enter.
+    COTS_COUNTER_INC("ebr.forced_advance_attempts");
+    retires_since_advance_ = 0;
+    if (manager_->TryAdvance()) {
+      const uint64_t now =
+          manager_->global_epoch_.load(std::memory_order_seq_cst);
+      if (now >= 2) FreeBucketsUpTo(now - 2);
+    }
+  } else if (++retires_since_advance_ >= kAdvanceEveryRetires) {
     retires_since_advance_ = 0;
     manager_->TryAdvance();
   }

@@ -37,6 +37,15 @@ class EpochManager;
 /// a single thread at a time (the owning thread).
 class EpochParticipant {
  public:
+  /// Per-participant backlog (summed across epoch buckets) beyond which
+  /// Retire() escalates from the periodic
+  /// advance cadence to an attempt on every retire (plus an inline free of
+  /// whatever a successful advance unlocked). Counted as
+  /// "ebr.forced_advance_attempts"; sized a few periodic cadences above
+  /// normal steady-state backlog so it only fires when advances are being
+  /// refused (e.g. a parked laggard), never on the healthy path.
+  static constexpr size_t kForcedAdvanceBacklog = 256;
+
   /// Enters an epoch-protected critical section. Reentrant.
   void Enter();
 

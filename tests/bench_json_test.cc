@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "util/metrics.h"
+#include "util/thread_utils.h"
 
 namespace cots {
 namespace {
@@ -265,6 +266,33 @@ TEST(BenchJsonTest, ReportParsesWithDocumentedKeys) {
   }
   EXPECT_TRUE(found);
 #endif
+}
+
+// Timing rows whose "threads" extra exceeds the machine's hardware threads
+// are timeshared measurements, not scaling points; the report must stamp
+// them so downstream comparisons can filter them out. Rows at or below the
+// hardware limit (and rows with no thread count at all) stay unstamped.
+TEST(BenchJsonTest, OversubscribedRowsAreFlagged) {
+  const double hw = static_cast<double>(HardwareConcurrency());
+  bench::BenchReport report;
+  report.SetTitle("oversubscription test");
+  report.AddTiming("at limit", 0.5, {{"threads", hw}});
+  report.AddTiming("beyond limit", 0.5, {{"threads", hw * 4.0}});
+  report.AddTiming("no thread count", 0.5, {{"shards", 2.0}});
+  const std::string doc = report.ToJson(MakeConfig());
+
+  JsonValue root;
+  ASSERT_TRUE(JsonParser(doc).Parse(&root)) << doc;
+  const JsonValue* timings = root.Get("timings");
+  ASSERT_NE(timings, nullptr);
+  ASSERT_EQ(timings->array.size(), 3u);
+
+  EXPECT_EQ(timings->array[0].Get("oversubscribed"), nullptr);
+  const JsonValue* flag = timings->array[1].Get("oversubscribed");
+  ASSERT_NE(flag, nullptr);
+  EXPECT_EQ(flag->kind, JsonValue::Kind::kBool);
+  EXPECT_TRUE(flag->boolean);
+  EXPECT_EQ(timings->array[2].Get("oversubscribed"), nullptr);
 }
 
 TEST(BenchJsonTest, WriteIfRequestedWritesFileOnce) {

@@ -6,6 +6,8 @@
 #include <thread>
 #include <vector>
 
+#include "util/metrics.h"
+
 namespace cots {
 namespace {
 
@@ -98,6 +100,56 @@ TEST(EbrTest, ActiveReaderBlocksAdvance) {
   reader->Exit();
   EXPECT_TRUE(manager.TryAdvance());
   manager.Unregister(reader);
+  manager.Unregister(writer);
+}
+
+// Regression for the unbounded retire backlog under a parked laggard
+// (BENCH_throughput.json: retire_backlog mean ~970 with 26k blocked
+// advances): once a participant's per-slot backlog crosses
+// kForcedAdvanceBacklog, Retire() must attempt an epoch advance itself
+// (counted as "ebr.forced_advance_attempts") so the first retire after the
+// laggard unpins unwedges the grace period, instead of garbage pooling
+// until the next periodic cadence happens to line up.
+TEST(EbrTest, ParkedLaggardBacklogTriggersForcedAdvance) {
+  std::atomic<int> deleted{0};
+  EpochManager manager(4);
+  EpochParticipant* laggard = manager.Register();
+  EpochParticipant* writer = manager.Register();
+  ASSERT_NE(laggard, nullptr);
+  ASSERT_NE(writer, nullptr);
+
+  laggard->Enter();
+  ASSERT_TRUE(manager.TryAdvance());  // laggard now pins the previous epoch
+#if COTS_METRICS_ENABLED
+  const uint64_t forced_before = MetricsRegistry::Global().Snapshot().
+      CounterValue("ebr.forced_advance_attempts");
+#endif
+  const size_t kRetires = EpochParticipant::kForcedAdvanceBacklog + 64;
+  writer->Enter();
+  for (size_t i = 0; i < kRetires; ++i) writer->Retire(new Tracked(&deleted));
+#if COTS_METRICS_ENABLED
+  // The backlog crossed the threshold while the laggard blocked every
+  // advance: the forced path must have fired (once per retire past the
+  // threshold).
+  const uint64_t forced_after = MetricsRegistry::Global().Snapshot().
+      CounterValue("ebr.forced_advance_attempts");
+  EXPECT_GE(forced_after - forced_before, 64u);
+#endif
+  EXPECT_EQ(deleted.load(), 0);  // grace period legitimately still open
+
+  // Laggard unpins: the very next retire's forced attempt advances the
+  // epoch without waiting for the periodic cadence (the writer re-enters
+  // per batch like a real ingest thread, so its own pin moves forward).
+  laggard->Exit();
+  for (int batch = 0; batch < 4 && deleted.load() == 0; ++batch) {
+    writer->Exit();
+    writer->Enter();
+    writer->Retire(new Tracked(&deleted));
+  }
+  EXPECT_GT(deleted.load(), 0);
+
+  writer->Exit();
+  manager.Unregister(laggard);
   manager.Unregister(writer);
 }
 

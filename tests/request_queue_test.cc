@@ -100,8 +100,8 @@ TEST(RequestQueueTest, WraparoundManyLapsKeepsFifo) {
   uint64_t next_expected = 0;
   uint64_t next_sent = 0;
   // Uneven chunk sizes walk the cursors through every ring offset.
-  const size_t kChunks[] = {1, 3, RequestQueue::kRingCapacity - 1, 7,
-                           RequestQueue::kRingCapacity};
+  const size_t kChunks[] = {1, 3, RequestQueue::kDefaultRingCapacity - 1, 7,
+                           RequestQueue::kDefaultRingCapacity};
   for (int lap = 0; lap < 200; ++lap) {
     const size_t chunk = kChunks[lap % 5];
     for (size_t i = 0; i < chunk; ++i) {
@@ -125,7 +125,7 @@ TEST(RequestQueueTest, FullRingDivertsToOverflowFallback) {
   const uint64_t fallback_before = FallbackAllocations();
 #endif
   RequestQueue q;
-  for (uint64_t i = 0; i < RequestQueue::kRingCapacity; ++i) {
+  for (uint64_t i = 0; i < RequestQueue::kDefaultRingCapacity; ++i) {
     ASSERT_TRUE(q.TryEnqueue(MakeIncrement(i)));
   }
 #if COTS_METRICS_ENABLED
@@ -133,15 +133,15 @@ TEST(RequestQueueTest, FullRingDivertsToOverflowFallback) {
   // allocation-free and lock-free.
   EXPECT_EQ(FallbackAllocations(), fallback_before);
 #endif
-  EXPECT_EQ(q.size(), RequestQueue::kRingCapacity);
-  ASSERT_TRUE(q.TryEnqueue(MakeIncrement(RequestQueue::kRingCapacity)));
-  ASSERT_TRUE(q.TryEnqueue(MakeIncrement(RequestQueue::kRingCapacity + 1)));
+  EXPECT_EQ(q.size(), RequestQueue::kDefaultRingCapacity);
+  ASSERT_TRUE(q.TryEnqueue(MakeIncrement(RequestQueue::kDefaultRingCapacity)));
+  ASSERT_TRUE(q.TryEnqueue(MakeIncrement(RequestQueue::kDefaultRingCapacity + 1)));
 #if COTS_METRICS_ENABLED
   EXPECT_EQ(FallbackAllocations(), fallback_before + 2);
 #endif
-  EXPECT_EQ(q.size(), RequestQueue::kRingCapacity + 2);
+  EXPECT_EQ(q.size(), RequestQueue::kDefaultRingCapacity + 2);
   std::vector<Request> out;
-  EXPECT_EQ(q.DrainTo(&out), RequestQueue::kRingCapacity + 2);
+  EXPECT_EQ(q.DrainTo(&out), RequestQueue::kDefaultRingCapacity + 2);
   for (uint64_t i = 0; i < out.size(); ++i) {
     EXPECT_EQ(out[i].delta, i);  // ring slots in order, then the overflow
   }
@@ -150,6 +150,39 @@ TEST(RequestQueueTest, FullRingDivertsToOverflowFallback) {
   ASSERT_TRUE(q.TryEnqueue(MakeIncrement(99)));
   out.clear();
   EXPECT_EQ(q.DrainTo(&out), 1u);
+  EXPECT_TRUE(q.CloseIfEmpty());
+}
+
+// Runtime-sized rings: capacity rounds up to a power of two, the deeper
+// ring absorbs a full batch-depth burst without touching the fallback, and
+// FIFO order holds across the larger ring's wraparound.
+TEST(RequestQueueTest, ConfigurableCapacityAbsorbsBatchDepthBurst) {
+  RequestQueue q(/*capacity=*/1000);  // rounds up to 1024
+  EXPECT_EQ(q.ring_capacity(), 1024u);
+#if COTS_METRICS_ENABLED
+  const uint64_t fallback_before = FallbackAllocations();
+#endif
+  for (uint64_t i = 0; i < 1024; ++i) {
+    ASSERT_TRUE(q.TryEnqueue(MakeIncrement(i)));
+  }
+#if COTS_METRICS_ENABLED
+  EXPECT_EQ(FallbackAllocations(), fallback_before);
+#endif
+  EXPECT_EQ(q.size(), 1024u);
+  std::vector<Request> out;
+  EXPECT_EQ(q.DrainTo(&out), 1024u);
+  for (uint64_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i].delta, i);
+  // Wrap the large ring a few times to exercise slot recycling.
+  uint64_t next_sent = 1024;
+  uint64_t next_expected = 1024;
+  for (int lap = 0; lap < 5; ++lap) {
+    for (uint64_t i = 0; i < 700; ++i) {
+      ASSERT_TRUE(q.TryEnqueue(MakeIncrement(next_sent++)));
+    }
+    out.clear();
+    ASSERT_EQ(q.DrainTo(&out), 700u);
+    for (const Request& r : out) ASSERT_EQ(r.delta, next_expected++);
+  }
   EXPECT_TRUE(q.CloseIfEmpty());
 }
 

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <random>
+#include <vector>
+
 #include "core/space_saving.h"
 #include "stream/exact_counter.h"
 #include "stream/zipf_generator.h"
@@ -38,6 +42,22 @@ TEST(CombineTest, DisjointKeysAddMinFreqBounds) {
   EXPECT_EQ(m.Lookup(2)->count, 10u);
   EXPECT_EQ(m.Lookup(2)->error, 2u);
   EXPECT_EQ(m.min_freq(), 5u);
+}
+
+TEST(CombineTest, DisjointModeSkipsAbsentSideInflation) {
+  CounterSet a({{1, 10, 1}}, /*min_freq=*/2, /*n=*/12);
+  CounterSet b({{2, 8, 0}}, /*min_freq=*/3, /*n=*/11);
+  CounterSet m = CombineCounterSets(a, b, 0, MergeMode::kDisjoint);
+  EXPECT_EQ(m.stream_length(), 23u);
+  // Hash-partitioned shards never see each other's keys: the absent side
+  // contributes nothing, so per-shard counts and errors pass through.
+  EXPECT_EQ(m.Lookup(1)->count, 10u);
+  EXPECT_EQ(m.Lookup(1)->error, 1u);
+  EXPECT_EQ(m.Lookup(2)->count, 8u);
+  EXPECT_EQ(m.Lookup(2)->error, 0u);
+  // An unmonitored key lives in exactly one shard, so the global bound is
+  // the max of the per-shard bounds, not the sum.
+  EXPECT_EQ(m.min_freq(), 3u);
 }
 
 TEST(CombineTest, SharedKeysSumCountsAndErrors) {
@@ -142,6 +162,81 @@ TEST(MergeTest, HierarchicalMatchesSerialForPowerOfTwo) {
   for (int i = 0; i < 5; ++i) {
     EXPECT_TRUE(hier.Lookup(st[i].key).has_value())
         << "serial top key " << st[i].key << " missing from hierarchical";
+  }
+}
+
+// Property test: under any randomized split of a stream into parts — an
+// occurrence-level random split merged with kOverlapping, and a
+// key-partitioned split merged with kDisjoint — the merged CounterSet keeps
+// the Space Saving contract versus ground truth even after truncation back
+// down to `capacity`:
+//   est >= true and est - err <= true for monitored keys;
+//   true <= min_freq for unmonitored keys.
+// This is the guarantee CotsFleet's global view rests on, so it is checked
+// across randomized part counts, capacities, and skews rather than one
+// hand-picked split.
+TEST(MergeTest, RandomSplitsPreserveBoundsAfterTruncation) {
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    std::mt19937_64 rng(seed * 0x9E3779B97F4A7C15ull);
+    ZipfOptions opt;
+    opt.alphabet_size = 200 + rng() % 1800;
+    opt.alpha = 1.2 + static_cast<double>(rng() % 100) / 80.0;
+    opt.seed = seed;
+    const uint64_t n = 15000 + rng() % 15000;
+    Stream s = MakeZipfStream(n, opt);
+    ExactCounter exact(s);
+
+    const uint64_t parts_count = 2 + rng() % 6;
+    const size_t capacity = 16 + static_cast<size_t>(rng() % 48);
+    for (MergeMode mode : {MergeMode::kOverlapping, MergeMode::kDisjoint}) {
+      std::vector<std::unique_ptr<SpaceSaving>> parts;
+      for (uint64_t p = 0; p < parts_count; ++p) {
+        SpaceSavingOptions sso;
+        sso.capacity = capacity;
+        ASSERT_TRUE(sso.Validate().ok());
+        parts.push_back(std::make_unique<SpaceSaving>(sso));
+      }
+      std::mt19937_64 assign(seed);
+      for (size_t i = 0; i < s.size(); ++i) {
+        // kDisjoint requires every occurrence of a key to land on one part
+        // (as CotsFleet's hash partitioning does); kOverlapping permits any
+        // occurrence-level split.
+        const uint64_t p = mode == MergeMode::kDisjoint
+                               ? s[i] % parts_count
+                               : assign() % parts_count;
+        parts[p]->Offer(s[i]);
+      }
+
+      std::vector<const FrequencySummary*> views;
+      std::vector<uint64_t> mins;
+      for (const auto& part : parts) {
+        views.push_back(part.get());
+        mins.push_back(part->MinFreq());
+      }
+      for (bool hierarchical : {false, true}) {
+        CounterSet merged =
+            hierarchical ? MergeHierarchical(views, mins, capacity, mode)
+                         : MergeSerial(views, mins, capacity, mode);
+        SCOPED_TRACE(testing::Message()
+                     << "seed=" << seed << " parts=" << parts_count
+                     << " capacity=" << capacity << " mode="
+                     << (mode == MergeMode::kDisjoint ? "disjoint"
+                                                      : "overlapping")
+                     << (hierarchical ? " hierarchical" : " serial"));
+        EXPECT_EQ(merged.stream_length(), n);
+        EXPECT_LE(merged.num_counters(), capacity);
+        for (const Counter& c : merged.counters()) {
+          const uint64_t truth = exact.Count(c.key);
+          EXPECT_GE(c.count, truth) << "key " << c.key;
+          EXPECT_LE(c.GuaranteedCount(), truth) << "key " << c.key;
+        }
+        for (const auto& [key, truth] : exact.counts()) {
+          if (!merged.Lookup(key).has_value()) {
+            EXPECT_LE(truth, merged.min_freq()) << "key " << key;
+          }
+        }
+      }
+    }
   }
 }
 
