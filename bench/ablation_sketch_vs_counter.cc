@@ -5,8 +5,21 @@
 // suited for the class of applications that require frequency counting."
 // Measures per-element cost and top-k accuracy for the counter-based
 // algorithms against Count-Min and Count Sketch at comparable space.
+//
+// Two additions beyond the paper's table:
+//   * Space Saving runs in both summary layouts (linked node lists vs the
+//     flat SIMD-scanned arrays), and a capacity sweep locates the
+//     linked-vs-flat crossover: the flat layout's min-victim scan is O(m)
+//     groups-of-8 while the linked bucket walk is O(1), so linked must win
+//     eventually as m grows — the sweep shows where on this machine.
+//   * Every Space Saving row is accuracy-GATED, not just reported: the
+//     epsilon bound (max estimation error <= N/m) and per-key sandwich
+//     (true <= est <= true + error) are checked against exact ground truth
+//     and any violation exits non-zero, so a perf pipeline cannot publish
+//     numbers from a layout that broke the algorithm.
 
 #include <cstdio>
+#include <cstdlib>
 
 #include "common/bench_common.h"
 #include "core/count_min_sketch.h"
@@ -34,6 +47,42 @@ double TopKRelativeError(const ExactCounter& exact, size_t k,
   return count == 0 ? 0.0 : sum / static_cast<double>(count);
 }
 
+// Space Saving epsilon-accuracy gate; aborts the bench on any violation.
+void GateSpaceSaving(const SpaceSaving& ss, const ExactCounter& exact,
+                     size_t capacity, const char* what) {
+  const uint64_t n = exact.stream_length();
+  const uint64_t bound = n / capacity;
+  for (const Counter& c : ss.CountersDescending()) {
+    const uint64_t truth = exact.Count(c.key);
+    if (c.error > bound || truth > c.count || c.count > truth + c.error) {
+      std::fprintf(stderr,
+                   "ACCURACY GATE FAILED (%s): key=%llu truth=%llu est=%llu "
+                   "err=%llu bound=%llu\n",
+                   what, static_cast<unsigned long long>(c.key),
+                   static_cast<unsigned long long>(truth),
+                   static_cast<unsigned long long>(c.count),
+                   static_cast<unsigned long long>(c.error),
+                   static_cast<unsigned long long>(bound));
+      std::exit(1);
+    }
+  }
+}
+
+// Timed + gated Space Saving run in one layout; returns seconds.
+double RunSpaceSaving(const Stream& stream, const ExactCounter& exact,
+                      size_t capacity, SummaryLayout layout) {
+  SpaceSavingOptions opt;
+  opt.capacity = capacity;
+  opt.layout = layout;
+  if (!opt.Validate().ok()) std::abort();
+  SpaceSaving ss(opt);
+  Stopwatch timer;
+  ss.Process(stream);
+  const double t = timer.ElapsedSeconds();
+  GateSpaceSaving(ss, exact, capacity, SummaryLayoutName(layout));
+  return t;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -50,21 +99,31 @@ int main(int argc, char** argv) {
 
   PrintRow({"engine", "time", "rate", "cells/ctrs", "top50 ARE"});
 
-  {
+  for (SummaryLayout layout : {SummaryLayout::kLinked, SummaryLayout::kFlat}) {
     SpaceSavingOptions opt;
     opt.capacity = config.capacity;
+    opt.layout = layout;
     if (!opt.Validate().ok()) std::abort();
     SpaceSaving ss(opt);
     Stopwatch timer;
     ss.Process(stream);
     const double t = timer.ElapsedSeconds();
-    PrintRow({"SpaceSaving", FormatSeconds(t),
-              FormatRate(static_cast<double>(n) / t),
+    GateSpaceSaving(ss, exact, config.capacity, SummaryLayoutName(layout));
+    const double are = TopKRelativeError(exact, 50, [&](ElementId e) {
+      auto c = ss.Lookup(e);
+      return c.has_value() ? c->count : 0;
+    });
+    const std::string name =
+        std::string("SpaceSaving/") + SummaryLayoutName(layout);
+    BenchReport::Global().AddTiming(
+        name, t,
+        {{"rate_eps", static_cast<double>(n) / t},
+         {"capacity", static_cast<double>(config.capacity)},
+         {"top50_are", are}},
+        {{"layout", SummaryLayoutName(layout)}, {"accuracy_gate", "passed"}});
+    PrintRow({name, FormatSeconds(t), FormatRate(static_cast<double>(n) / t),
               std::to_string(ss.num_counters()),
-              std::to_string(TopKRelativeError(exact, 50, [&](ElementId e) {
-                auto c = ss.Lookup(e);
-                return c.has_value() ? c->count : 0;
-              })).substr(0, 6)});
+              std::to_string(are).substr(0, 6)});
   }
   {
     LossyCountingOptions opt;
@@ -73,13 +132,17 @@ int main(int argc, char** argv) {
     Stopwatch timer;
     lc.Process(stream);
     const double t = timer.ElapsedSeconds();
+    const double are = TopKRelativeError(exact, 50, [&](ElementId e) {
+      auto c = lc.Lookup(e);
+      return c.has_value() ? c->count : 0;
+    });
+    BenchReport::Global().AddTiming(
+        "LossyCounting", t,
+        {{"rate_eps", static_cast<double>(n) / t}, {"top50_are", are}});
     PrintRow({"LossyCounting", FormatSeconds(t),
               FormatRate(static_cast<double>(n) / t),
               std::to_string(lc.num_counters()),
-              std::to_string(TopKRelativeError(exact, 50, [&](ElementId e) {
-                auto c = lc.Lookup(e);
-                return c.has_value() ? c->count : 0;
-              })).substr(0, 6)});
+              std::to_string(are).substr(0, 6)});
   }
   {
     CountMinSketchOptions opt;
@@ -90,12 +153,15 @@ int main(int argc, char** argv) {
     Stopwatch timer;
     cms.Process(stream);
     const double t = timer.ElapsedSeconds();
+    const double are = TopKRelativeError(
+        exact, 50, [&](ElementId e) { return cms.Estimate(e); });
+    BenchReport::Global().AddTiming(
+        "CountMin", t,
+        {{"rate_eps", static_cast<double>(n) / t}, {"top50_are", are}});
     PrintRow({"CountMin", FormatSeconds(t),
               FormatRate(static_cast<double>(n) / t),
               std::to_string(cms.cells()),
-              std::to_string(TopKRelativeError(exact, 50, [&](ElementId e) {
-                return cms.Estimate(e);
-              })).substr(0, 6)});
+              std::to_string(are).substr(0, 6)});
   }
   {
     CountSketchOptions opt;
@@ -106,13 +172,51 @@ int main(int argc, char** argv) {
     Stopwatch timer;
     cs.Process(stream);
     const double t = timer.ElapsedSeconds();
+    const double are = TopKRelativeError(
+        exact, 50, [&](ElementId e) { return cs.Estimate(e); });
+    BenchReport::Global().AddTiming(
+        "CountSketch", t,
+        {{"rate_eps", static_cast<double>(n) / t}, {"top50_are", are}});
     PrintRow({"CountSketch", FormatSeconds(t),
               FormatRate(static_cast<double>(n) / t),
               std::to_string(cs.cells()),
-              std::to_string(TopKRelativeError(exact, 50, [&](ElementId e) {
-                return cs.Estimate(e);
-              })).substr(0, 6)});
+              std::to_string(are).substr(0, 6)});
   }
+
+  // Linked-vs-flat crossover sweep. At small m the flat scan touches a
+  // handful of cache lines and wins; the O(m) scan cost grows linearly, so
+  // past some capacity the linked bucket discipline takes over.
+  std::printf("\nLayout crossover (SpaceSaving, alpha %.1f):\n", alpha);
+  PrintRow({"capacity", "linked", "flat", "flat/linked"});
+  for (size_t cap : {size_t{64}, size_t{256}, size_t{1024}, size_t{4096},
+                     size_t{16384}}) {
+    const double linked = BestOf(config, [&] {
+      return RunSpaceSaving(stream, exact, cap, SummaryLayout::kLinked);
+    });
+    const double flat = BestOf(config, [&] {
+      return RunSpaceSaving(stream, exact, cap, SummaryLayout::kFlat);
+    });
+    // Speed ratio > 1 means flat is faster at this capacity.
+    const double ratio = linked / flat;
+    for (SummaryLayout layout :
+         {SummaryLayout::kLinked, SummaryLayout::kFlat}) {
+      const bool is_flat = layout == SummaryLayout::kFlat;
+      const double seconds = is_flat ? flat : linked;
+      BenchReport::Global().AddTiming(
+          std::string("crossover/") + SummaryLayoutName(layout) + "/m=" +
+              std::to_string(cap),
+          seconds,
+          {{"capacity", static_cast<double>(cap)},
+           {"rate_eps", static_cast<double>(n) / seconds},
+           {"flat_speedup", ratio}},
+          {{"layout", SummaryLayoutName(layout)},
+           {"accuracy_gate", "passed"}});
+    }
+    PrintRow({std::to_string(cap),
+              FormatRate(static_cast<double>(n) / linked),
+              FormatRate(static_cast<double>(n) / flat), FormatRatio(ratio)});
+  }
+
   std::printf("\nPaper claim: the sketches pay d hash+update rounds per "
               "element (lower rate) and need an auxiliary structure to "
               "answer set queries at all; counter-based techniques give "

@@ -72,8 +72,9 @@ BenchReport& BenchReport::Global() {
 
 void BenchReport::AddTiming(
     const std::string& label, double seconds,
-    const std::vector<std::pair<std::string, double>>& extras) {
-  timings_.push_back(TimingRow{label, seconds, extras});
+    const std::vector<std::pair<std::string, double>>& extras,
+    const std::vector<std::pair<std::string, std::string>>& tags) {
+  timings_.push_back(TimingRow{label, seconds, extras, tags});
 }
 
 std::string BenchReport::ToJson(const BenchConfig& config) const {
@@ -111,6 +112,9 @@ std::string BenchReport::ToJson(const BenchConfig& config) const {
       if (key == "threads" && value > hardware_threads) oversubscribed = true;
     }
     if (oversubscribed) w.Key("oversubscribed").Bool(true);
+    for (const auto& [key, value] : row.tags) {
+      w.Key(key).String(value);
+    }
     w.EndObject();
   }
   w.EndArray();
@@ -160,9 +164,11 @@ double BestOf(const BenchConfig& config, const std::function<double()>& fn) {
   return best;
 }
 
-double TimeSequential(const Stream& stream, size_t capacity) {
+double TimeSequential(const Stream& stream, size_t capacity,
+                      SummaryLayout layout) {
   SpaceSavingOptions opt;
   opt.capacity = capacity;
+  opt.layout = layout;
   if (!opt.Validate().ok()) std::abort();
   SpaceSaving engine(opt);
   Stopwatch timer;
@@ -227,11 +233,13 @@ double TimeIndependent(const Stream& stream, int threads, size_t capacity,
 }
 
 double TimeCots(const Stream& stream, int threads, size_t capacity,
-                CotsRunStats* stats, size_t hash_block_entries) {
+                CotsRunStats* stats, size_t hash_block_entries,
+                SummaryLayout layout) {
   CotsSpaceSavingOptions opt;
   opt.capacity = capacity;
   opt.hash_block_entries = hash_block_entries;
   opt.max_threads = threads + 8;
+  opt.layout = layout;
   if (!opt.Validate().ok()) std::abort();
   CotsSpaceSaving engine(opt);
   Stopwatch timer;

@@ -79,9 +79,13 @@ class BenchReport {
   void SetTitle(const std::string& title) { title_ = title; }
 
   /// Records one timed result. `extras` carries bench-specific numbers
-  /// (threads, speedup, operation counts) straight into the timing row.
-  void AddTiming(const std::string& label, double seconds,
-                 const std::vector<std::pair<std::string, double>>& extras = {});
+  /// (threads, speedup, operation counts) straight into the timing row;
+  /// `tags` carries bench-specific strings (e.g. layout={linked,flat}) so
+  /// perf tooling can slice rows without parsing labels.
+  void AddTiming(
+      const std::string& label, double seconds,
+      const std::vector<std::pair<std::string, double>>& extras = {},
+      const std::vector<std::pair<std::string, std::string>>& tags = {});
 
   /// The full report document (always valid JSON).
   std::string ToJson(const BenchConfig& config) const;
@@ -97,6 +101,7 @@ class BenchReport {
     std::string label;
     double seconds = 0.0;
     std::vector<std::pair<std::string, double>> extras;
+    std::vector<std::pair<std::string, std::string>> tags;
   };
 
   std::string title_;
@@ -113,7 +118,8 @@ double BestOf(const BenchConfig& config, const std::function<double()>& fn);
 
 // ---- Timed runners (seconds of wall time to consume the whole stream) ----
 
-double TimeSequential(const Stream& stream, size_t capacity);
+double TimeSequential(const Stream& stream, size_t capacity,
+                      SummaryLayout layout = SummaryLayout::kLinked);
 
 /// Shared Structure baseline; threads slice the stream contiguously.
 template <typename Mutex>
@@ -135,7 +141,8 @@ struct CotsRunStats {
 
 /// CoTS engine; threads slice the stream contiguously.
 double TimeCots(const Stream& stream, int threads, size_t capacity,
-                CotsRunStats* stats = nullptr, size_t hash_block_entries = 2);
+                CotsRunStats* stats = nullptr, size_t hash_block_entries = 2,
+                SummaryLayout layout = SummaryLayout::kLinked);
 
 // ---- Table printing ----
 

@@ -19,6 +19,24 @@
 
 namespace cots {
 
+/// Physical layout of a Space Saving summary. Every engine whose options
+/// carry a SummaryLayout implements identical algorithmic guarantees in
+/// both layouts; the choice is purely a memory-layout/performance knob:
+///
+///   * kLinked — the paper-faithful Stream Summary bucket list (Fig 2):
+///     doubly-linked frequency buckets, O(1) amortized updates, elements
+///     readable in frequency order for free. Pointer-chasing.
+///   * kFlat — contiguous counter arrays with an open-addressing key
+///     index and SIMD min-victim scans (core/flat_stream_summary.h):
+///     cache-dense, allocation-free after construction, faster ingest at
+///     practical capacities. Frequency order is recovered by sorting at
+///     query time.
+enum class SummaryLayout : uint8_t { kLinked = 0, kFlat = 1 };
+
+inline const char* SummaryLayoutName(SummaryLayout layout) {
+  return layout == SummaryLayout::kFlat ? "flat" : "linked";
+}
+
 /// One monitored element. `count` is the estimated frequency and is always
 /// an over-estimate for counter-based algorithms with eviction (Space
 /// Saving): true_count <= count <= true_count + error.

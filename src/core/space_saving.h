@@ -20,9 +20,11 @@
 #define COTS_CORE_SPACE_SAVING_H_
 
 #include <cstdint>
+#include <memory>
 #include <unordered_map>
 
 #include "core/counter.h"
+#include "core/flat_stream_summary.h"
 #include "core/stream_summary.h"
 #include "util/macros.h"
 #include "util/status.h"
@@ -34,6 +36,10 @@ struct SpaceSavingOptions {
   size_t capacity = 0;
   /// Error bound; used only when capacity == 0, as m = ceil(1 / epsilon).
   double epsilon = 0.0;
+  /// Physical summary layout (see core/counter.h). Both layouts implement
+  /// identical Space Saving semantics; kFlat trades query-time sorting for
+  /// cache-dense updates.
+  SummaryLayout layout = SummaryLayout::kLinked;
 
   /// Resolves capacity/epsilon and rejects unusable combinations.
   Status Validate();
@@ -60,12 +66,18 @@ class SpaceSaving : public FrequencySummary {
   std::optional<Counter> Lookup(ElementId e) const override;
   std::vector<Counter> CountersDescending() const override;
   uint64_t stream_length() const override { return n_; }
-  size_t num_counters() const override { return summary_.size(); }
+  size_t num_counters() const override {
+    return flat_ ? flat_->size() : summary_.size();
+  }
 
   size_t capacity() const { return capacity_; }
+  SummaryLayout layout() const {
+    return flat_ ? SummaryLayout::kFlat : SummaryLayout::kLinked;
+  }
   /// Frequency of the minimum counter; 0 while the structure is not full.
   /// Any unmonitored element has true frequency <= this.
   uint64_t MinFreq() const {
+    if (flat_) return flat_->size() < capacity_ ? 0 : flat_->MinFreq();
     return summary_.size() < capacity_ ? 0 : summary_.MinFreq();
   }
 
@@ -75,6 +87,10 @@ class SpaceSaving : public FrequencySummary {
  private:
   size_t capacity_;
   uint64_t n_ = 0;
+  // Exactly one layout is active for the object's lifetime: flat_ non-null
+  // means every operation routes to the flat summary and the linked members
+  // stay empty; otherwise the linked pair below is authoritative.
+  std::unique_ptr<FlatStreamSummary> flat_;
   StreamSummary summary_;
   std::unordered_map<ElementId, StreamSummary::Node*> index_;
 };

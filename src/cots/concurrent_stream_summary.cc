@@ -32,6 +32,9 @@ ConcurrentStreamSummary::ConcurrentStreamSummary(
       ring_capacity_(options.request_ring_capacity != 0
                          ? options.request_ring_capacity
                          : RequestQueue::kDefaultRingCapacity),
+      pool_(options.layout == SummaryLayout::kFlat
+                ? std::make_unique<SummaryNodePool>(options.capacity)
+                : nullptr),
       sentinel_(new FreqBucket(0, ring_capacity_)),
       table_(table),
       epochs_(epochs) {
@@ -39,17 +42,51 @@ ConcurrentStreamSummary::ConcurrentStreamSummary(
 }
 
 ConcurrentStreamSummary::~ConcurrentStreamSummary() {
+  // Retired pool nodes sitting in EBR hold deleters that dereference pool_;
+  // run them now, while the pool is alive. No reader can be active during
+  // destruction, so this is the sanctioned DrainAll window (a no-op when
+  // the owning engine already drained in its own destructor).
+  epochs_->DrainAll();
   FreqBucket* b = sentinel_;
   while (b != nullptr) {
     SummaryNode* n = b->head.load(std::memory_order_relaxed);
     while (n != nullptr) {
       SummaryNode* next = n->next.load(std::memory_order_relaxed);
-      delete n;
+      // Slab nodes die with the pool; only heap(-fallback) nodes are freed
+      // here.
+      if (pool_ == nullptr || !pool_->Owns(n)) delete n;
       n = next;
     }
     FreqBucket* next = b->next.load(std::memory_order_relaxed);
     delete b;
     b = next;
+  }
+}
+
+SummaryNode* ConcurrentStreamSummary::AllocateNode() {
+  if (pool_ != nullptr) {
+    if (SummaryNode* n = pool_->Allocate()) return n;
+    // Slab and free list exhausted (Lossy Counting can hold freed nodes in
+    // EBR limbo past capacity); fall back to the heap, marked pool-less so
+    // reclamation routes back to `delete`.
+    COTS_COUNTER_INC("summary.node_pool_exhausted");
+  }
+  return new SummaryNode;
+}
+
+namespace {
+void ReturnNodeToPool(void* p) {
+  auto* node = static_cast<SummaryNode*>(p);
+  static_cast<SummaryNodePool*>(node->pool)->Free(node);
+}
+}  // namespace
+
+void ConcurrentStreamSummary::RetireNode(EpochParticipant* participant,
+                                         SummaryNode* node) {
+  if (node->pool != nullptr) {
+    participant->RetireRaw(node, &ReturnNodeToPool);
+  } else {
+    participant->Retire(node);
   }
 }
 
@@ -442,7 +479,7 @@ bool ConcurrentStreamSummary::ProcessRequest(FreqBucket* bucket,
           DetachNode(bucket, n);
           monitored_.fetch_sub(1, std::memory_order_acq_rel);
           // Queries may still be walking over the node; retire, not delete.
-          ctx->participant->Retire(n);
+          RetireNode(ctx->participant, n);
         }
         n = next;
       }
@@ -583,7 +620,7 @@ void ConcurrentStreamSummary::CrossBoundary(DelegationHashTable::Entry* entry,
   Request request;
   if (newly_inserted) {
     if (TryAdmit()) {
-      auto* node = new SummaryNode;
+      SummaryNode* node = AllocateNode();
       node->key = entry->key;
       node->freq = delta + initial_error;
       node->error = initial_error;

@@ -35,6 +35,7 @@ ConcurrentStreamSummaryOptions SummaryOptions(
   ConcurrentStreamSummaryOptions sopt;
   sopt.capacity = WidthOf(opt) * 32;  // sizing hint only
   sopt.always_admit = true;
+  sopt.layout = opt.layout;
   return sopt;
 }
 

@@ -65,6 +65,7 @@ ConcurrentStreamSummaryOptions SummaryOptions(
   ConcurrentStreamSummaryOptions sopt;
   sopt.capacity = opt.capacity;
   sopt.request_ring_capacity = opt.request_ring_capacity;
+  sopt.layout = opt.layout;
   return sopt;
 }
 
@@ -98,7 +99,7 @@ CotsSpaceSaving::CotsSpaceSaving(const CotsSpaceSavingOptions& options)
 
 CotsSpaceSaving::CotsSpaceSaving(const CotsSpaceSavingOptions& options,
                                  ValidatedTag)
-    : epochs_(options.max_threads),
+    : epochs_(options.max_threads, options.ebr_forced_advance_backlog),
       table_(TableOptions(options), &epochs_),
       summary_(SummaryOptions(options), &table_, &epochs_) {
   assert(options.capacity > 0);

@@ -95,6 +95,19 @@ struct CotsSpaceSavingOptions {
   /// mutex overflow vector, which is the designed elastic path, not an
   /// error.
   size_t request_ring_capacity = 0;
+  /// Summary node layout (core/counter.h): kFlat pre-allocates every
+  /// SummaryNode in one contiguous per-engine slab (SummaryNodePool) so
+  /// admission never mallocs and a fleet of many small shards costs one
+  /// allocation each instead of `capacity` — the knob that makes shard
+  /// counts ≫ cores affordable. kLinked (default) heap-allocates nodes as
+  /// the paper's structure does. Guarantees are identical.
+  SummaryLayout layout = SummaryLayout::kLinked;
+  /// Per-participant EBR retire backlog beyond which every Retire()
+  /// attempts a forced epoch advance (util/ebr.h). 0 = the library default
+  /// (EpochParticipant::kDefaultForcedAdvanceBacklog). Lower it when
+  /// reclamation latency matters more than advance overhead — e.g. many
+  /// small shards where a parked laggard's backlog is capacity-sized.
+  size_t ebr_forced_advance_backlog = 0;
 
   Status Validate();
 };

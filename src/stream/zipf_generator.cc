@@ -3,6 +3,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "stream/pow_approx.h"
+
 namespace cots {
 namespace {
 
@@ -29,7 +31,12 @@ double Helper2(double x) {
 }  // namespace
 
 ZipfGenerator::ZipfGenerator(const ZipfOptions& options)
-    : options_(options), rng_(options.seed) {
+    : options_(options),
+      // The fast closed forms divide by (1 - alpha); at alpha ~= 1 only the
+      // log/exp helpers (whose expansions are stable through the pole) give
+      // a usable sampler, whatever the caller asked for.
+      use_exact_(options.exact || std::fabs(1.0 - options.alpha) < 1e-6),
+      rng_(options.seed) {
   assert(options_.alphabet_size >= 1);
   assert(options_.alpha > 0.0);
   h_integral_x1_ = HIntegral(1.5) - 1.0;
@@ -38,24 +45,49 @@ ZipfGenerator::ZipfGenerator(const ZipfOptions& options)
   s_ = 2.0 - HIntegralInverse(HIntegral(2.5) - H(2.0));
 }
 
+// The three h-functions exist in two algebraically identical forms: the
+// log/exp helper form (numerically stable across alpha == 1, used in exact
+// mode) and the closed power form (HIntegral(x) = (x^(1-a) - 1)/(1-a),
+// H(x) = x^-a, HIntegralInverse(u) = (1 + u(1-a))^(1/(1-a))), whose pow
+// calls route through FastPow in approximate mode. The approximation
+// perturbs the majorizing function and the acceptance test by the same
+// bounded relative error, so sampled frequencies shift by at most that
+// error — the sampler does not need the forms to be exact inverses of each
+// other to terminate (see the bounded rejection loop in NextRank).
+
 double ZipfGenerator::HIntegral(double x) const {
-  const double log_x = std::log(x);
-  return Helper2((1.0 - options_.alpha) * log_x) * log_x;
+  if (use_exact_) {
+    const double log_x = std::log(x);
+    return Helper2((1.0 - options_.alpha) * log_x) * log_x;
+  }
+  return (FastPow(x, 1.0 - options_.alpha) - 1.0) / (1.0 - options_.alpha);
 }
 
 double ZipfGenerator::H(double x) const {
-  return std::exp(-options_.alpha * std::log(x));
+  if (use_exact_) return std::exp(-options_.alpha * std::log(x));
+  return FastPow(x, -options_.alpha);
 }
 
 double ZipfGenerator::HIntegralInverse(double x) const {
   double t = x * (1.0 - options_.alpha);
   if (t < -1.0) t = -1.0;  // limit of numeric range
-  return std::exp(Helper1(t) * x);
+  if (use_exact_) return std::exp(Helper1(t) * x);
+  double base = 1.0 + t;
+  // FastPow's bit tricks need a positive normal base; at the clamped edge
+  // of the range the exact result is the alphabet boundary anyway.
+  if (base < 1e-12) base = 1e-12;
+  return FastPow(base, 1.0 / (1.0 - options_.alpha));
 }
 
 uint64_t ZipfGenerator::NextRank() {
-  // Hörmann & Derflinger rejection-inversion.
-  for (;;) {
+  // Hörmann & Derflinger rejection-inversion. The loop is bounded: with
+  // exact h-functions a handful of rejections is already rare, but in
+  // approximate mode the majorizing function and the acceptance test carry
+  // independent FastPow errors, and a hard cap makes "perturbed constants
+  // starve acceptance" structurally impossible rather than just unlikely.
+  // Hitting the cap falls back to the head rank — a vanishingly rare event
+  // that only nudges the sampled distribution by another epsilon.
+  for (int attempt = 0; attempt < 100; ++attempt) {
     const double u =
         h_integral_num_elements_ +
         rng_.NextDouble() * (h_integral_x1_ - h_integral_num_elements_);
@@ -70,6 +102,7 @@ uint64_t ZipfGenerator::NextRank() {
       return static_cast<uint64_t>(k);
     }
   }
+  return 1;  // cap exhausted (see above): fall back to the head rank
 }
 
 ElementId ZipfGenerator::KeyOfRank(uint64_t rank) const {
@@ -79,18 +112,26 @@ ElementId ZipfGenerator::KeyOfRank(uint64_t rank) const {
 ElementId ZipfGenerator::Next() { return KeyOfRank(NextRank()); }
 
 double ZipfGenerator::ExpectedFrequency(uint64_t rank, uint64_t n) const {
+  // The truncated zeta table is the other pow-bound setup cost (up to |A|
+  // terms before the tail check triggers); approximate mode uses FastPow
+  // here too, which callers comparing against sampled counts to tight
+  // tolerances opt out of via ZipfOptions::exact.
   if (zeta_ == 0.0) {
     double z = 0.0;
     for (uint64_t i = 1; i <= options_.alphabet_size; ++i) {
-      const double term = std::pow(static_cast<double>(i), -options_.alpha);
+      const double x = static_cast<double>(i);
+      const double term = use_exact_ ? std::pow(x, -options_.alpha)
+                                     : FastPow(x, -options_.alpha);
       z += term;
       // The tail is negligible once terms stop moving the sum.
       if (term < z * 1e-12) break;
     }
     zeta_ = z;
   }
-  return static_cast<double>(n) /
-         (std::pow(static_cast<double>(rank), options_.alpha) * zeta_);
+  const double r = static_cast<double>(rank);
+  const double rank_pow = use_exact_ ? std::pow(r, options_.alpha)
+                                     : FastPow(r, options_.alpha);
+  return static_cast<double>(n) / (rank_pow * zeta_);
 }
 
 Stream MakeZipfStream(uint64_t n, const ZipfOptions& options) {

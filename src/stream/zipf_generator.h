@@ -29,6 +29,15 @@ struct ZipfOptions {
   uint64_t seed = 42;
   /// Map ranks through a mixing bijection so key values are scattered.
   bool permute_keys = true;
+  /// Evaluate the sampler's h-functions and the zeta table with std::pow /
+  /// std::exp instead of the default FastPow approximation
+  /// (stream/pow_approx.h). The approximation perturbs sampled frequencies
+  /// by at most its relative error (<6%, typically <2%) and makes stream
+  /// setup several times faster — right for benches, wrong for statistical
+  /// tests that compare counts against analytic frequencies to 5 sigma.
+  /// Forced on internally when |1 - alpha| < 1e-6, where the closed forms
+  /// divide by (1 - alpha) and only the stable log/exp helpers work.
+  bool exact = false;
 };
 
 class ZipfGenerator {
@@ -57,6 +66,8 @@ class ZipfGenerator {
   double HIntegralInverse(double x) const;
 
   ZipfOptions options_;
+  /// options_.exact, forced on near alpha == 1 (see ZipfOptions::exact).
+  bool use_exact_;
   Xoshiro256 rng_;
   // Rejection-inversion precomputed constants.
   double h_integral_x1_;

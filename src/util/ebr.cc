@@ -56,7 +56,7 @@ void EpochParticipant::RetireRaw(void* ptr, void (*deleter)(void*)) {
   size_t backlog = 0;
   for (const GarbageBucket& b : buckets_) backlog += b.nodes.size();
   COTS_HISTOGRAM_RECORD("ebr.retire_backlog", backlog);
-  if (COTS_UNLIKELY(backlog >= kForcedAdvanceBacklog)) {
+  if (COTS_UNLIKELY(backlog >= manager_->forced_advance_backlog_)) {
     // A parked laggard defeats the periodic cadence below: every attempt
     // fails while garbage pools behind the grace period (retire_backlog
     // mean ~970 with 26k laggard-blocked advances in BENCH_throughput.json
@@ -67,6 +67,10 @@ void EpochParticipant::RetireRaw(void* ptr, void (*deleter)(void*)) {
     COTS_COUNTER_INC("ebr.forced_advance_attempts");
     retires_since_advance_ = 0;
     if (manager_->TryAdvance()) {
+      // Successes vs attempts distinguishes "laggard refuses advances"
+      // (attempts ≫ successes) from "churn outruns the grace period"
+      // (successes keep up but the backlog stays capacity-sized anyway).
+      COTS_COUNTER_INC("ebr.forced_advance_successes");
       const uint64_t now =
           manager_->global_epoch_.load(std::memory_order_seq_cst);
       if (now >= 2) FreeBucketsUpTo(now - 2);
@@ -86,8 +90,13 @@ void EpochParticipant::FreeBucketsUpTo(uint64_t safe_epoch) {
   }
 }
 
-EpochManager::EpochManager(int max_participants)
-    : slots_(static_cast<size_t>(max_participants)) {
+EpochManager::EpochManager(int max_participants,
+                           size_t forced_advance_backlog)
+    : forced_advance_backlog_(
+          forced_advance_backlog != 0
+              ? forced_advance_backlog
+              : EpochParticipant::kDefaultForcedAdvanceBacklog),
+      slots_(static_cast<size_t>(max_participants)) {
   for (EpochParticipant& slot : slots_) slot.manager_ = this;
 }
 

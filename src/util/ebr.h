@@ -37,14 +37,18 @@ class EpochManager;
 /// a single thread at a time (the owning thread).
 class EpochParticipant {
  public:
-  /// Per-participant backlog (summed across epoch buckets) beyond which
-  /// Retire() escalates from the periodic
-  /// advance cadence to an attempt on every retire (plus an inline free of
-  /// whatever a successful advance unlocked). Counted as
-  /// "ebr.forced_advance_attempts"; sized a few periodic cadences above
-  /// normal steady-state backlog so it only fires when advances are being
-  /// refused (e.g. a parked laggard), never on the healthy path.
-  static constexpr size_t kForcedAdvanceBacklog = 256;
+  /// Default per-participant backlog (summed across epoch buckets) beyond
+  /// which Retire() escalates from the periodic advance cadence to an
+  /// attempt on every retire (plus an inline free of whatever a successful
+  /// advance unlocked). Attempts and successes are counted separately
+  /// ("ebr.forced_advance_attempts" / "ebr.forced_advance_successes") so a
+  /// backlog that stays high despite the escalation is attributable: many
+  /// attempts with few successes means a laggard is refusing advances; many
+  /// successes with a high backlog means churn simply outruns the two-epoch
+  /// grace period. The threshold is per-manager-configurable
+  /// (EpochManager's constructor) — engines with many small shards lower it
+  /// so a capacity-sized backlog cannot pool behind a parked laggard.
+  static constexpr size_t kDefaultForcedAdvanceBacklog = 256;
 
   /// Enters an epoch-protected critical section. Reentrant.
   void Enter();
@@ -98,7 +102,13 @@ class EpochParticipant {
 /// Owns the global epoch and a fixed pool of participant slots.
 class EpochManager {
  public:
-  explicit EpochManager(int max_participants = 256);
+  /// `forced_advance_backlog`: per-participant retire backlog that triggers
+  /// the forced-advance escalation (see
+  /// EpochParticipant::kDefaultForcedAdvanceBacklog); 0 means the default.
+  explicit EpochManager(
+      int max_participants = 256,
+      size_t forced_advance_backlog =
+          EpochParticipant::kDefaultForcedAdvanceBacklog);
   ~EpochManager();
 
   COTS_DISALLOW_COPY_AND_ASSIGN(EpochManager);
@@ -124,6 +134,8 @@ class EpochManager {
     return global_epoch_.load(std::memory_order_acquire);
   }
 
+  size_t forced_advance_backlog() const { return forced_advance_backlog_; }
+
  private:
   friend class EpochParticipant;
 
@@ -132,6 +144,7 @@ class EpochManager {
   void FreeOrphansUpTo(uint64_t safe_epoch);
 
   COTS_CACHE_ALIGNED std::atomic<uint64_t> global_epoch_{1};
+  size_t forced_advance_backlog_;
   std::vector<EpochParticipant> slots_;
 
   std::mutex orphan_mu_;

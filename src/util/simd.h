@@ -1,0 +1,183 @@
+// Copyright (c) the CoTS reproduction authors.
+//
+// Portable SIMD wrappers for the flat summary's hot scans (group-of-8
+// uint64 equality search and unsigned minimum). Three tiers:
+//
+//   * x86-64: SSE2 is the architectural baseline, so the equality scan —
+//     the flat layout's per-eviction hot path — vectorizes everywhere
+//     (64-bit lane equality is expressible as a 32-bit compare AND its
+//     lane-swapped self). The full min reduction needs 64-bit compares
+//     (SSE4.2's cmpgt_epi64); below that it stays scalar, which is fine
+//     because the min recompute is the rare path (see
+//     core/flat_stream_summary.h for why the cached-min discipline makes
+//     equality hits the common case).
+//   * aarch64: NEON vceqq_u64 / vcgtq_u64 cover both scans.
+//   * Scalar fallback: plain loops, selected by -DCOTS_SIMD=OFF
+//     (COTS_SIMD_ENABLED=0) or on any other architecture. The scalar
+//     loops are the semantic reference; the vector paths must match them
+//     exactly (tests/flat_stream_summary_test.cc sweeps boundaries).
+//
+// All functions take unaligned pointers and arbitrary counts; tails
+// shorter than a vector are finished scalar.
+
+#ifndef COTS_UTIL_SIMD_H_
+#define COTS_UTIL_SIMD_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#ifndef COTS_SIMD_ENABLED
+#define COTS_SIMD_ENABLED 1
+#endif
+
+#if COTS_SIMD_ENABLED && (defined(__x86_64__) || defined(_M_X64) || defined(__SSE2__))
+#define COTS_SIMD_X86 1
+#include <emmintrin.h>
+#if defined(__SSE4_2__)
+#include <nmmintrin.h>
+#endif
+#elif COTS_SIMD_ENABLED && defined(__aarch64__)
+#define COTS_SIMD_NEON 1
+#include <arm_neon.h>
+#endif
+
+namespace cots {
+namespace simd {
+
+/// The scan group width: scans process 8 uint64 lanes per branch, so a
+/// mispredict is paid once per group, not once per element.
+inline constexpr size_t kGroupWidth = 8;
+
+/// First index i in [0, count) with data[i] == needle; `count` when absent.
+inline size_t FindEqualU64(const uint64_t* data, size_t count,
+                           uint64_t needle) {
+#if defined(COTS_SIMD_X86)
+  const __m128i n = _mm_set1_epi64x(static_cast<long long>(needle));
+  size_t i = 0;
+  for (; i + kGroupWidth <= count; i += kGroupWidth) {
+    // 64-bit equality out of SSE2: both 32-bit halves of a lane must match,
+    // so AND the 32-bit compare with its within-lane swap.
+    const __m128i v0 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + i));
+    const __m128i v1 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + i + 2));
+    const __m128i v2 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + i + 4));
+    const __m128i v3 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + i + 6));
+    const __m128i q0 = _mm_cmpeq_epi32(v0, n);
+    const __m128i q1 = _mm_cmpeq_epi32(v1, n);
+    const __m128i q2 = _mm_cmpeq_epi32(v2, n);
+    const __m128i q3 = _mm_cmpeq_epi32(v3, n);
+    const __m128i e0 =
+        _mm_and_si128(q0, _mm_shuffle_epi32(q0, _MM_SHUFFLE(2, 3, 0, 1)));
+    const __m128i e1 =
+        _mm_and_si128(q1, _mm_shuffle_epi32(q1, _MM_SHUFFLE(2, 3, 0, 1)));
+    const __m128i e2 =
+        _mm_and_si128(q2, _mm_shuffle_epi32(q2, _MM_SHUFFLE(2, 3, 0, 1)));
+    const __m128i e3 =
+        _mm_and_si128(q3, _mm_shuffle_epi32(q3, _MM_SHUFFLE(2, 3, 0, 1)));
+    const __m128i any =
+        _mm_or_si128(_mm_or_si128(e0, e1), _mm_or_si128(e2, e3));
+    if (_mm_movemask_epi8(any) != 0) {
+      // One branch per group; on a hit, resolve the exact lane.
+      const int m0 = _mm_movemask_epi8(e0);
+      if (m0 != 0) return i + ((m0 & 0xFF) != 0 ? 0 : 1);
+      const int m1 = _mm_movemask_epi8(e1);
+      if (m1 != 0) return i + 2 + ((m1 & 0xFF) != 0 ? 0 : 1);
+      const int m2 = _mm_movemask_epi8(e2);
+      if (m2 != 0) return i + 4 + ((m2 & 0xFF) != 0 ? 0 : 1);
+      const int m3 = _mm_movemask_epi8(e3);
+      return i + 6 + ((m3 & 0xFF) != 0 ? 0 : 1);
+    }
+  }
+  for (; i < count; ++i) {
+    if (data[i] == needle) return i;
+  }
+  return count;
+#elif defined(COTS_SIMD_NEON)
+  const uint64x2_t n = vdupq_n_u64(needle);
+  size_t i = 0;
+  for (; i + kGroupWidth <= count; i += kGroupWidth) {
+    const uint64x2_t e0 = vceqq_u64(vld1q_u64(data + i), n);
+    const uint64x2_t e1 = vceqq_u64(vld1q_u64(data + i + 2), n);
+    const uint64x2_t e2 = vceqq_u64(vld1q_u64(data + i + 4), n);
+    const uint64x2_t e3 = vceqq_u64(vld1q_u64(data + i + 6), n);
+    const uint64x2_t any = vorrq_u64(vorrq_u64(e0, e1), vorrq_u64(e2, e3));
+    if (vmaxvq_u32(vreinterpretq_u32_u64(any)) != 0) {
+      if (vgetq_lane_u64(e0, 0) != 0) return i;
+      if (vgetq_lane_u64(e0, 1) != 0) return i + 1;
+      if (vgetq_lane_u64(e1, 0) != 0) return i + 2;
+      if (vgetq_lane_u64(e1, 1) != 0) return i + 3;
+      if (vgetq_lane_u64(e2, 0) != 0) return i + 4;
+      if (vgetq_lane_u64(e2, 1) != 0) return i + 5;
+      if (vgetq_lane_u64(e3, 0) != 0) return i + 6;
+      return i + 7;
+    }
+  }
+  for (; i < count; ++i) {
+    if (data[i] == needle) return i;
+  }
+  return count;
+#else
+  for (size_t i = 0; i < count; ++i) {
+    if (data[i] == needle) return i;
+  }
+  return count;
+#endif
+}
+
+/// Smallest value in data[0, count); UINT64_MAX when count == 0.
+inline uint64_t MinValueU64(const uint64_t* data, size_t count) {
+#if defined(COTS_SIMD_X86) && defined(__SSE4_2__)
+  // Unsigned 64-bit min via the signed cmpgt with both operands biased by
+  // 2^63 (flips the sign bit, making unsigned order match signed order).
+  uint64_t min = ~uint64_t{0};
+  const __m128i bias = _mm_set1_epi64x(static_cast<long long>(1ULL << 63));
+  __m128i vmin = _mm_set1_epi64x(-1);  // all ones == UINT64_MAX lanes
+  size_t i = 0;
+  for (; i + 2 <= count; i += 2) {
+    const __m128i v =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(data + i));
+    const __m128i gt = _mm_cmpgt_epi64(_mm_xor_si128(vmin, bias),
+                                       _mm_xor_si128(v, bias));
+    // vmin = gt ? v : vmin (lane-wise blend out of and/andnot).
+    vmin = _mm_or_si128(_mm_and_si128(gt, v), _mm_andnot_si128(gt, vmin));
+  }
+  alignas(16) uint64_t lanes[2];
+  _mm_store_si128(reinterpret_cast<__m128i*>(lanes), vmin);
+  min = lanes[0] < lanes[1] ? lanes[0] : lanes[1];
+  for (; i < count; ++i) {
+    if (data[i] < min) min = data[i];
+  }
+  return min;
+#elif defined(COTS_SIMD_NEON)
+  uint64_t min = ~uint64_t{0};
+  uint64x2_t vmin = vdupq_n_u64(~uint64_t{0});
+  size_t i = 0;
+  for (; i + 2 <= count; i += 2) {
+    const uint64x2_t v = vld1q_u64(data + i);
+    vmin = vbslq_u64(vcgtq_u64(vmin, v), v, vmin);
+  }
+  const uint64_t l0 = vgetq_lane_u64(vmin, 0);
+  const uint64_t l1 = vgetq_lane_u64(vmin, 1);
+  min = l0 < l1 ? l0 : l1;
+  for (; i < count; ++i) {
+    if (data[i] < min) min = data[i];
+  }
+  return min;
+#else
+  // Scalar path (also the SSE2-only x86 tier). A plain reduction the
+  // compiler is free to unroll; correctness reference for the vector paths.
+  uint64_t min = ~uint64_t{0};
+  for (size_t i = 0; i < count; ++i) {
+    if (data[i] < min) min = data[i];
+  }
+  return min;
+#endif
+}
+
+}  // namespace simd
+}  // namespace cots
+
+#endif  // COTS_UTIL_SIMD_H_

@@ -295,6 +295,41 @@ TEST(BenchJsonTest, OversubscribedRowsAreFlagged) {
   EXPECT_EQ(timings->array[2].Get("oversubscribed"), nullptr);
 }
 
+// String tags (notably layout={linked,flat}) serialize as string values on
+// the timing row, coexist with numeric extras, and are absent when a row
+// carries none — tools/perf_smoke.py slices BENCH_throughput.json rows on
+// the "layout" key, so its type and placement are contract.
+TEST(BenchJsonTest, LayoutTagsSerializeAsRowStrings) {
+  bench::BenchReport report;
+  report.SetTitle("layout tag test");
+  report.AddTiming("cots flat a=1.5", 0.25,
+                   {{"alpha", 1.5}, {"rate_eps", 4e6}},
+                   {{"layout", "flat"}});
+  report.AddTiming("cots a=1.5", 0.5, {{"alpha", 1.5}},
+                   {{"layout", "linked"}, {"accuracy_gate", "passed"}});
+  report.AddTiming("peak", 0.25, {{"rate_eps", 4e6}});
+  const std::string doc = report.ToJson(MakeConfig());
+
+  JsonValue root;
+  ASSERT_TRUE(JsonParser(doc).Parse(&root)) << doc;
+  const JsonValue* timings = root.Get("timings");
+  ASSERT_NE(timings, nullptr);
+  ASSERT_EQ(timings->array.size(), 3u);
+
+  const JsonValue* flat = timings->array[0].Get("layout");
+  ASSERT_NE(flat, nullptr);
+  EXPECT_EQ(flat->kind, JsonValue::Kind::kString);
+  EXPECT_EQ(flat->string, "flat");
+  EXPECT_EQ(timings->array[0].Get("alpha")->number, 1.5);  // extras intact
+
+  const JsonValue* linked = timings->array[1].Get("layout");
+  ASSERT_NE(linked, nullptr);
+  EXPECT_EQ(linked->string, "linked");
+  EXPECT_EQ(timings->array[1].Get("accuracy_gate")->string, "passed");
+
+  EXPECT_EQ(timings->array[2].Get("layout"), nullptr);  // untagged row
+}
+
 TEST(BenchJsonTest, WriteIfRequestedWritesFileOnce) {
   bench::BenchConfig config = MakeConfig();
   config.json_path = ::testing::TempDir() + "/bench_json_test_report.json";

@@ -106,7 +106,7 @@ TEST(EbrTest, ActiveReaderBlocksAdvance) {
 // Regression for the unbounded retire backlog under a parked laggard
 // (BENCH_throughput.json: retire_backlog mean ~970 with 26k blocked
 // advances): once a participant's per-slot backlog crosses
-// kForcedAdvanceBacklog, Retire() must attempt an epoch advance itself
+// the forced-advance backlog, Retire() must attempt an epoch advance itself
 // (counted as "ebr.forced_advance_attempts") so the first retire after the
 // laggard unpins unwedges the grace period, instead of garbage pooling
 // until the next periodic cadence happens to line up.
@@ -124,7 +124,7 @@ TEST(EbrTest, ParkedLaggardBacklogTriggersForcedAdvance) {
   const uint64_t forced_before = MetricsRegistry::Global().Snapshot().
       CounterValue("ebr.forced_advance_attempts");
 #endif
-  const size_t kRetires = EpochParticipant::kForcedAdvanceBacklog + 64;
+  const size_t kRetires = EpochParticipant::kDefaultForcedAdvanceBacklog + 64;
   writer->Enter();
   for (size_t i = 0; i < kRetires; ++i) writer->Retire(new Tracked(&deleted));
 #if COTS_METRICS_ENABLED
@@ -147,6 +147,81 @@ TEST(EbrTest, ParkedLaggardBacklogTriggersForcedAdvance) {
     writer->Retire(new Tracked(&deleted));
   }
   EXPECT_GT(deleted.load(), 0);
+
+  writer->Exit();
+  manager.Unregister(laggard);
+  manager.Unregister(writer);
+}
+
+// Regression for the backlog PLATEAU: BENCH_throughput.json showed
+// ebr.retire_backlog mean ~970 even with the forced advance firing — the
+// default threshold (256) lets a capacity-sized pile accumulate before the
+// escalation starts, and each successful advance only releases the oldest
+// epoch bucket. The threshold is now configurable per manager; with a low
+// threshold the backlog must drain promptly — every retired object freed —
+// once a parked laggard unpins, and successes must be counted separately
+// from attempts so the refused-vs-outrun diagnosis is possible.
+TEST(EbrTest, ConfigurableBacklogDrainsUnderParkedLaggard) {
+  constexpr size_t kThreshold = 32;
+  std::atomic<int> deleted{0};
+  EpochManager manager(4, kThreshold);
+  EXPECT_EQ(manager.forced_advance_backlog(), kThreshold);
+  EpochParticipant* laggard = manager.Register();
+  EpochParticipant* writer = manager.Register();
+  ASSERT_NE(laggard, nullptr);
+  ASSERT_NE(writer, nullptr);
+
+  laggard->Enter();
+  ASSERT_TRUE(manager.TryAdvance());  // laggard now pins the previous epoch
+
+#if COTS_METRICS_ENABLED
+  const auto before = MetricsRegistry::Global().Snapshot();
+  const uint64_t attempts_before =
+      before.CounterValue("ebr.forced_advance_attempts");
+  const uint64_t successes_before =
+      before.CounterValue("ebr.forced_advance_successes");
+#endif
+
+  constexpr int kRetires = 128;
+  writer->Enter();
+  for (int i = 0; i < kRetires; ++i) writer->Retire(new Tracked(&deleted));
+  EXPECT_EQ(deleted.load(), 0);  // grace period legitimately open
+
+#if COTS_METRICS_ENABLED
+  {
+    const auto mid = MetricsRegistry::Global().Snapshot();
+    // The low threshold fires far earlier than the 256 default would: one
+    // attempt per retire past kThreshold, and all of them refused while
+    // the laggard pins.
+    EXPECT_GE(mid.CounterValue("ebr.forced_advance_attempts") -
+                  attempts_before,
+              static_cast<uint64_t>(kRetires) - kThreshold);
+    EXPECT_EQ(mid.CounterValue("ebr.forced_advance_successes"),
+              successes_before);
+  }
+#endif
+
+  // Laggard unpins: the writer keeps retiring in short pinned sections
+  // (like a real ingest thread) and the forced path must now advance the
+  // epoch and drain the ENTIRE pile, not just stop it growing.
+  laggard->Exit();
+  int extra = 0;
+  for (int batch = 0; batch < 8 && deleted.load() < kRetires; ++batch) {
+    writer->Exit();
+    writer->Enter();
+    writer->Retire(new Tracked(&deleted));
+    ++extra;
+  }
+  EXPECT_GE(deleted.load(), kRetires);
+  (void)extra;
+
+#if COTS_METRICS_ENABLED
+  {
+    const auto after = MetricsRegistry::Global().Snapshot();
+    EXPECT_GT(after.CounterValue("ebr.forced_advance_successes"),
+              successes_before);
+  }
+#endif
 
   writer->Exit();
   manager.Unregister(laggard);

@@ -188,11 +188,17 @@ TEST(MergeTest, RandomSplitsPreserveBoundsAfterTruncation) {
 
     const uint64_t parts_count = 2 + rng() % 6;
     const size_t capacity = 16 + static_cast<size_t>(rng() % 48);
+    // Both physical layouts feed the same merge machinery through the
+    // FrequencySummary interface; the contract may not depend on which one
+    // produced the parts (tie-breaking during eviction differs, the bounds
+    // may not).
+    for (SummaryLayout layout : {SummaryLayout::kLinked, SummaryLayout::kFlat})
     for (MergeMode mode : {MergeMode::kOverlapping, MergeMode::kDisjoint}) {
       std::vector<std::unique_ptr<SpaceSaving>> parts;
       for (uint64_t p = 0; p < parts_count; ++p) {
         SpaceSavingOptions sso;
         sso.capacity = capacity;
+        sso.layout = layout;
         ASSERT_TRUE(sso.Validate().ok());
         parts.push_back(std::make_unique<SpaceSaving>(sso));
       }
@@ -219,7 +225,8 @@ TEST(MergeTest, RandomSplitsPreserveBoundsAfterTruncation) {
                          : MergeSerial(views, mins, capacity, mode);
         SCOPED_TRACE(testing::Message()
                      << "seed=" << seed << " parts=" << parts_count
-                     << " capacity=" << capacity << " mode="
+                     << " capacity=" << capacity << " layout="
+                     << SummaryLayoutName(layout) << " mode="
                      << (mode == MergeMode::kDisjoint ? "disjoint"
                                                       : "overlapping")
                      << (hierarchical ? " hierarchical" : " serial"));

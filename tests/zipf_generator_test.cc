@@ -7,6 +7,8 @@
 #include <map>
 #include <set>
 
+#include "stream/pow_approx.h"
+
 namespace cots {
 namespace {
 
@@ -59,6 +61,10 @@ TEST_P(ZipfFrequencyTest, HeadFrequencyMatchesAnalytic) {
   opt.alpha = alpha;
   opt.permute_keys = false;
   opt.seed = 1234;
+  // 5-sigma agreement with the analytic frequency needs the exact
+  // h-functions; the FastPow default trades percent-level skew error for
+  // setup speed (its own bound is tested separately below).
+  opt.exact = true;
   ZipfGenerator gen(opt);
   const uint64_t n = 200000;
   std::map<uint64_t, uint64_t> counts;
@@ -97,6 +103,7 @@ TEST(ZipfGeneratorTest, ExpectedFrequenciesSumToN) {
   ZipfOptions opt;
   opt.alphabet_size = 1000;
   opt.alpha = 2.0;
+  opt.exact = true;  // 1e-6 relative agreement is beyond the approximation
   ZipfGenerator gen(opt);
   const uint64_t n = 1000000;
   double sum = 0;
@@ -104,6 +111,109 @@ TEST(ZipfGeneratorTest, ExpectedFrequenciesSumToN) {
     sum += gen.ExpectedFrequency(r, n);
   }
   EXPECT_NEAR(sum, static_cast<double>(n), static_cast<double>(n) * 1e-6);
+}
+
+// ---- FastPow approximation bounds (stream/pow_approx.h) ----
+//
+// The fast zipf setup is only legitimate if the approximation error is
+// pinned: these tests are the bound the header advertises. Integer
+// exponents must be exact (exponentiation by squaring), fractional
+// exponents bounded by 6% relative error over the generator's whole
+// working domain, and the degenerate/negative cases must not hang or
+// diverge (the naive DRAMHiT loop never terminates for negative
+// exponents — the reciprocal route is load-bearing).
+
+TEST(PowApproxTest, IntegerExponentsAreExact) {
+  for (double a : {0.5, 1.0, 1.7, 2.0, 3.14159, 1000.0}) {
+    for (int e = 0; e <= 12; ++e) {
+      const double exact = std::pow(a, static_cast<double>(e));
+      EXPECT_NEAR(FastPow(a, static_cast<double>(e)), exact,
+                  std::fabs(exact) * 1e-12)
+          << "a=" << a << " e=" << e;
+    }
+  }
+}
+
+TEST(PowApproxTest, FractionalExponentRelativeErrorBounded) {
+  double worst = 0.0;
+  for (double a = 1e-6; a < 1e12; a *= 2.7182818) {
+    for (double b = -8.0; b <= 8.0; b += 1.0 / 16.0) {
+      const double exact = std::pow(a, b);
+      if (!std::isfinite(exact) || exact == 0.0) continue;
+      const double rel = std::fabs(FastPow(a, b) - exact) / exact;
+      EXPECT_LT(rel, 0.06) << "a=" << a << " b=" << b;
+      worst = std::max(worst, rel);
+    }
+  }
+  // The bound must also be doing real work: the approximation is genuinely
+  // approximate, so a rewrite that silently delegates to std::pow (and
+  // gives up the speed) would trip this.
+  EXPECT_GT(worst, 1e-6);
+}
+
+TEST(PowApproxTest, NegativeExponentsTerminateViaReciprocal) {
+  EXPECT_NEAR(FastPow(2.0, -3.0), 0.125, 1e-12);
+  const double exact = std::pow(10.0, -2.5);
+  EXPECT_NEAR(FastPow(10.0, -2.5), exact, exact * 0.06);
+}
+
+TEST(PowApproxTest, DegenerateBasesFallBackToStdPow) {
+  EXPECT_EQ(FastPow(0.0, 2.0), 0.0);
+  EXPECT_EQ(FastPow(0.0, 0.0), 1.0);  // std::pow(0,0) == 1
+  EXPECT_EQ(FastPow(-2.0, 2.0), 4.0);
+}
+
+// Approximate-mode sampler sanity: the distribution may be perturbed by
+// the FastPow error, but the head frequency must still match the analytic
+// value to ~approximation accuracy, ranks must stay in range, and the
+// stream must stay deterministic per seed. Alpha sweeps the paper's range;
+// alpha == 1.0 internally reroutes to the exact helpers (division by
+// 1 - alpha), which this sweep also covers.
+class ZipfApproxTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZipfApproxTest, ApproximateHeadFrequencyWithinTolerance) {
+  const double alpha = GetParam();
+  ZipfOptions opt;
+  opt.alphabet_size = 100000;
+  opt.alpha = alpha;
+  opt.permute_keys = false;
+  opt.seed = 4321;
+  ASSERT_FALSE(opt.exact) << "approx must be the default";
+  ZipfGenerator gen(opt);
+  const uint64_t n = 200000;
+  std::map<uint64_t, uint64_t> counts;
+  for (uint64_t i = 0; i < n; ++i) {
+    const uint64_t r = gen.NextRank();
+    ASSERT_GE(r, 1u);
+    ASSERT_LE(r, opt.alphabet_size);
+    ++counts[r];
+  }
+  // Exact-mode analytic expectation vs approx-mode sampled counts: allow
+  // the documented approximation bound on top of 5-sigma sampling noise.
+  ZipfOptions exact_opt = opt;
+  exact_opt.exact = true;
+  ZipfGenerator exact_gen(exact_opt);
+  const double expected = exact_gen.ExpectedFrequency(1, n);
+  const double sigma = std::sqrt(expected * (1.0 - expected / n));
+  EXPECT_NEAR(static_cast<double>(counts[1]), expected,
+              0.12 * expected + 5.0 * sigma + 1.0)
+      << "alpha=" << alpha;
+}
+
+INSTANTIATE_TEST_SUITE_P(PaperAlphas, ZipfApproxTest,
+                         ::testing::Values(1.0, 1.5, 2.0, 2.5, 3.0));
+
+TEST(ZipfApproxModesTest, ApproxAndExactAgreeNearAlphaOne) {
+  // |1 - alpha| < 1e-6 must force the exact helpers even with exact=false:
+  // identical draws, not merely close ones.
+  ZipfOptions approx;
+  approx.alphabet_size = 1000;
+  approx.alpha = 1.0 + 1e-9;
+  approx.seed = 99;
+  ZipfOptions exact = approx;
+  exact.exact = true;
+  ZipfGenerator a(approx), b(exact);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.NextRank(), b.NextRank());
 }
 
 TEST(StreamBuildersTest, ZipfStreamHasRequestedLength) {
