@@ -19,6 +19,8 @@
 
 namespace cots {
 
+class PublishedView;
+
 /// Physical layout of a Space Saving summary. Every engine whose options
 /// carry a SummaryLayout implements identical algorithmic guarantees in
 /// both layouts; the choice is purely a memory-layout/performance knob:
@@ -74,6 +76,26 @@ class FrequencySummary {
 
   /// Number of counters currently monitored.
   virtual size_t num_counters() const = 0;
+
+  /// All monitored counters in no particular order. Implementations whose
+  /// storage is unordered (flat layouts, hash-partitioned fleets) override
+  /// this to skip the frequency sort; selection-based consumers
+  /// (QueryEngine::KthFrequency via nth_element) only need the multiset.
+  virtual std::vector<Counter> CountersUnordered() const {
+    return CountersDescending();
+  }
+
+  /// Epoch-published query view support. A non-null return is an immutable
+  /// PublishedView whose memory stays valid until the matching
+  /// ReleaseQueryView() — implementations pin their reclamation scheme
+  /// (EBR epoch, lock, or nothing for static summaries) across the pair.
+  /// The default (no published view) returns nullptr and pins nothing;
+  /// callers must fall back to the live Lookup/CountersDescending path.
+  virtual const PublishedView* AcquireQueryView() const { return nullptr; }
+
+  /// Releases the pin taken by a non-null AcquireQueryView(). Must not be
+  /// called when AcquireQueryView() returned nullptr.
+  virtual void ReleaseQueryView() const {}
 };
 
 }  // namespace cots

@@ -144,12 +144,17 @@ std::optional<Counter> FlatStreamSummary::Lookup(ElementId e) const {
   return Counter{keys_[slot], freqs_[slot], errors_[slot]};
 }
 
-std::vector<Counter> FlatStreamSummary::CountersDescending() const {
+std::vector<Counter> FlatStreamSummary::CountersUnordered() const {
   std::vector<Counter> out;
   out.reserve(size_);
   for (size_t i = 0; i < size_; ++i) {
     out.push_back(Counter{keys_[i], freqs_[i], errors_[i]});
   }
+  return out;
+}
+
+std::vector<Counter> FlatStreamSummary::CountersDescending() const {
+  std::vector<Counter> out = CountersUnordered();
   std::sort(out.begin(), out.end(), [](const Counter& a, const Counter& b) {
     if (a.count != b.count) return a.count > b.count;
     return a.key < b.key;

@@ -66,6 +66,10 @@ class FlatStreamSummary {
   /// the FrequencySummary contract).
   std::vector<Counter> CountersDescending() const;
 
+  /// All monitored counters in slot order, no sort — for selection-based
+  /// consumers (QueryEngine's nth_element fallback) and view builds.
+  std::vector<Counter> CountersUnordered() const;
+
   uint64_t stream_length() const { return n_; }
   size_t size() const { return size_; }
   size_t capacity() const { return capacity_; }

@@ -1,0 +1,73 @@
+// Copyright (c) the CoTS reproduction authors.
+
+#include "core/published_view.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace cots {
+namespace {
+
+// Smallest power of two >= 2*n (load factor <= 0.5), floor of 8 slots so
+// tiny views still probe a real table.
+size_t IndexCapacityFor(size_t n) {
+  size_t cap = 8;
+  while (cap < n * 2) cap <<= 1;
+  return cap;
+}
+
+}  // namespace
+
+const PublishedView* PublishedView::Build(std::vector<Counter> counters,
+                                          uint64_t stream_length,
+                                          uint64_t min_freq,
+                                          uint64_t sequence) {
+  // Sort defensively: callers typically hand over CountersDescending output
+  // (already ordered), which std::sort handles in near-linear time, but the
+  // ladder and prefix queries are only correct on sorted input.
+  std::sort(counters.begin(), counters.end(),
+            [](const Counter& a, const Counter& b) {
+              if (a.count != b.count) return a.count > b.count;
+              return a.key < b.key;
+            });
+
+  auto* view = new PublishedView();
+  view->stream_length_ = stream_length;
+  view->min_freq_ = min_freq;
+  view->sequence_ = sequence;
+
+  const size_t n = counters.size();
+  view->keys_.reserve(n);
+  view->counts_.reserve(n);
+  view->errors_.reserve(n);
+  for (const Counter& c : counters) {
+    view->keys_.push_back(c.key);
+    view->counts_.push_back(c.count);
+    view->errors_.push_back(c.error);
+  }
+
+  const size_t cap = IndexCapacityFor(n);
+  view->index_mask_ = cap - 1;
+  view->index_ranks_.assign(cap, kEmptySlot);
+  for (size_t rank = 0; rank < n; ++rank) {
+    size_t slot = static_cast<size_t>(Mix(view->keys_[rank])) & view->index_mask_;
+    while (view->index_ranks_[slot] != kEmptySlot) {
+      // A key can appear at most once in a summary snapshot; duplicates
+      // would corrupt Rank(), so the merge/dedup must happen upstream.
+      assert(view->keys_[view->index_ranks_[slot]] != view->keys_[rank]);
+      slot = (slot + 1) & view->index_mask_;
+    }
+    view->index_ranks_[slot] = static_cast<uint32_t>(rank);
+  }
+  return view;
+}
+
+std::vector<Counter> PublishedView::TopK(size_t k) const {
+  const size_t n = std::min(k, size());
+  std::vector<Counter> out;
+  out.reserve(n);
+  for (size_t rank = 0; rank < n; ++rank) out.push_back(At(rank));
+  return out;
+}
+
+}  // namespace cots

@@ -13,6 +13,15 @@
 // Set answers distinguish guaranteed hits (count - error already above the
 // threshold) from potential hits (count above, guaranteed count below) —
 // the standard Space Saving reporting discipline.
+//
+// Every query first tries the summary's epoch-published view
+// (FrequencySummary::AcquireQueryView, core/published_view.h): point
+// queries become one wait-free hash probe, set queries a prefix copy, all
+// answered from the same immutable snapshot (staleness <= one refresh
+// interval, DESIGN.md §11). Summaries without a view fall back to the live
+// structure, where KthFrequency/TopK now use selection
+// (std::nth_element/partial_sort over CountersUnordered) instead of fully
+// sorting the summary per point query.
 
 #ifndef COTS_CORE_QUERY_H_
 #define COTS_CORE_QUERY_H_

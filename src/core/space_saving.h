@@ -65,6 +65,13 @@ class SpaceSaving : public FrequencySummary {
   // FrequencySummary:
   std::optional<Counter> Lookup(ElementId e) const override;
   std::vector<Counter> CountersDescending() const override;
+  std::vector<Counter> CountersUnordered() const override {
+    // Flat storage is unordered — skip the query-time sort. The linked
+    // bucket list yields frequency order for free, so there is nothing to
+    // save there.
+    if (flat_) return flat_->CountersUnordered();
+    return CountersDescending();
+  }
   uint64_t stream_length() const override { return n_; }
   size_t num_counters() const override {
     return flat_ ? flat_->size() : summary_.size();

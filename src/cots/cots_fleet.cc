@@ -3,6 +3,7 @@
 #include <cassert>
 #include <thread>
 
+#include "core/published_view.h"
 #include "util/failpoint.h"
 #include "util/metrics.h"
 #include "util/thread_utils.h"
@@ -25,14 +26,20 @@ class InflightScope {
   std::atomic<uint64_t>* counter_;
 };
 
-// Same finalizer-strength mix as the hash table's BucketFor. The shard
-// index takes the product's high 64 bits (Lemire reduction) while the
-// in-shard bucket index takes a modulus, so the two splits of the same
-// mixed value stay effectively independent.
+// Full murmur3 finalizer (both multiplies), unlike the engines' in-table
+// BucketFor which gets away with one. ShardOf takes the product's HIGH
+// bits (Lemire reduction), and after a single multiply those are still
+// nearly linear in the key — a dense small-key space (0..63) then routes
+// almost everything to the last shard, overflowing its capacity while the
+// others sit empty. The second multiply diffuses the high bits; the
+// in-shard bucket index takes low bits of the shard engines' own mix, so
+// the two splits stay effectively independent.
 inline uint64_t MixKey(ElementId e) {
   uint64_t h = e;
   h ^= h >> 33;
   h *= 0xff51afd7ed558ccdULL;
+  h ^= h >> 33;
+  h *= 0xc4ceb9fe1a85ec53ULL;
   h ^= h >> 33;
   return h;
 }
@@ -70,11 +77,15 @@ Status CotsFleetOptions::Validate() {
 }
 
 CotsFleet::CotsFleet(const CotsFleetOptions& options)
-    : options_(ValidatedOptions(options)) {
+    : options_(ValidatedOptions(options)),
+      view_epochs_(options_.engine.max_threads),
+      view_refresh_interval_(options_.view_refresh_interval) {
   shards_.reserve(options_.num_shards);
   for (size_t s = 0; s < options_.num_shards; ++s) {
     shards_.push_back(std::make_unique<CotsSpaceSaving>(options_.engine));
   }
+  view_query_participant_ = view_epochs_.Register();
+  assert(view_query_participant_ != nullptr);
 }
 
 CotsFleet::~CotsFleet() {
@@ -82,6 +93,14 @@ CotsFleet::~CotsFleet() {
   // stops itself, but going through the fleet protocol first guarantees no
   // fleet-level offer is mid-dispatch while shards tear down.
   Stop();
+  // All handles are destroyed before the fleet (API contract), so no view
+  // pin can be live; the current view is freed directly and retired
+  // predecessors drain with the epoch domain.
+  delete published_view_.exchange(nullptr, std::memory_order_acq_rel);
+  if (view_query_participant_ != nullptr) {
+    view_epochs_.Unregister(view_query_participant_);
+  }
+  view_epochs_.DrainAll();
 }
 
 size_t CotsFleet::ShardOf(ElementId e) const {
@@ -96,6 +115,7 @@ std::unique_ptr<CotsFleet::ThreadHandle> CotsFleet::RegisterThread() {
   for (const auto& shard_handle : handle->shards_) {
     if (shard_handle == nullptr) return nullptr;
   }
+  if (handle->view_participant_ == nullptr) return nullptr;
   return handle;
 }
 
@@ -134,6 +154,13 @@ CotsFleet::ThreadHandle::ThreadHandle(CotsFleet* fleet)
   for (size_t s = 0; s < shards_.size(); ++s) {
     shards_[s] = fleet->shards_[s]->RegisterThread();
   }
+  view_participant_ = fleet->view_epochs_.Register();
+}
+
+CotsFleet::ThreadHandle::~ThreadHandle() {
+  if (view_participant_ != nullptr) {
+    fleet_->view_epochs_.Unregister(view_participant_);
+  }
 }
 
 bool CotsFleet::ThreadHandle::Offer(ElementId e, uint64_t weight) {
@@ -147,6 +174,7 @@ bool CotsFleet::ThreadHandle::Offer(ElementId e, uint64_t weight) {
   // The fleet handshake was won, so the shard is still Running (Stop()
   // cannot pass the inflight wait until this scope exits).
   assert(counted);
+  fleet_->MaybeAutoRefresh(view_participant_, weight);
   return counted;
 }
 
@@ -162,6 +190,7 @@ bool CotsFleet::ThreadHandle::OfferBatch(const ElementId* elements,
     COTS_FAILPOINT("fleet.dispatch_shard");
     const bool counted = shards_[0]->OfferBatch(elements, count);
     assert(counted);
+    fleet_->MaybeAutoRefresh(view_participant_, count);
     return counted;
   }
   // One pass partitions the batch while keeping per-shard arrival order;
@@ -185,11 +214,38 @@ bool CotsFleet::ThreadHandle::OfferBatch(const ElementId* elements,
     if (!counted) return false;  // unreachable; see Offer
   }
   COTS_HISTOGRAM_RECORD("fleet.batch_shards_touched", touched);
+  fleet_->MaybeAutoRefresh(view_participant_, count);
   return true;
 }
 
 std::optional<Counter> CotsFleet::ThreadHandle::Lookup(ElementId e) const {
   return shards_[fleet_->ShardOf(e)]->Lookup(e);
+}
+
+std::vector<Counter> CotsFleet::ThreadHandle::CountersDescending() const {
+  return fleet_->CountersDescending();
+}
+
+uint64_t CotsFleet::ThreadHandle::stream_length() const {
+  return fleet_->stream_length();
+}
+
+size_t CotsFleet::ThreadHandle::num_counters() const {
+  return fleet_->num_counters();
+}
+
+const PublishedView* CotsFleet::ThreadHandle::AcquireQueryView() const {
+  // Same protocol as the engine handle's: the pin must precede the load so
+  // a view retired after our Enter cannot be freed until we release.
+  view_participant_->Enter();
+  const PublishedView* view =
+      fleet_->published_view_.load(std::memory_order_acquire);
+  if (view == nullptr) view_participant_->Exit();
+  return view;
+}
+
+void CotsFleet::ThreadHandle::ReleaseQueryView() const {
+  view_participant_->Exit();
 }
 
 CounterSet CotsFleet::GlobalView() const {
@@ -226,6 +282,10 @@ std::vector<Counter> CotsFleet::CountersDescending() const {
 }
 
 uint64_t CotsFleet::stream_length() const {
+  // O(shards) atomic fold. Point queries served from the published view
+  // never pay this — the view caches the sum at refresh time — so the fold
+  // runs once per refresh (and for callers that want the live figure), not
+  // once per IsElementFrequent threshold computation.
   uint64_t n = 0;
   for (const auto& shard : shards_) n += shard->stream_length();
   return n;
@@ -235,6 +295,74 @@ size_t CotsFleet::num_counters() const {
   size_t monitored = 0;
   for (const auto& shard : shards_) monitored += shard->num_counters();
   return monitored;
+}
+
+const PublishedView* CotsFleet::AcquireQueryView() const {
+  view_query_mu_.lock();
+  view_query_participant_->Enter();
+  const PublishedView* view =
+      published_view_.load(std::memory_order_acquire);
+  if (view == nullptr) {
+    view_query_participant_->Exit();
+    view_query_mu_.unlock();
+  }
+  return view;
+}
+
+void CotsFleet::ReleaseQueryView() const {
+  view_query_participant_->Exit();
+  view_query_mu_.unlock();
+}
+
+void CotsFleet::PublishView(EpochParticipant* participant) {
+  // Stream length first (see CotsSpaceSaving::PublishView): every fleet
+  // offer that fully landed before the fold below is covered, because
+  // shards account n before mutating their summaries.
+  const uint64_t n = stream_length();
+  CounterSet global = GlobalView();
+  const uint64_t seq = view_sequence_.load(std::memory_order_relaxed) + 1;
+  const PublishedView* next = PublishedView::Build(
+      global.CountersDescending(), n, global.min_freq(), seq);
+  COTS_FAILPOINT("view.publish");
+  const PublishedView* prev =
+      published_view_.exchange(next, std::memory_order_acq_rel);
+  view_sequence_.store(seq, std::memory_order_release);
+  COTS_COUNTER_INC("view.refreshes");
+  if (prev != nullptr) {
+    EpochGuard guard(participant);
+    participant->Retire(const_cast<PublishedView*>(prev));
+  }
+}
+
+void CotsFleet::MaybeAutoRefresh(EpochParticipant* participant,
+                                 uint64_t weight) {
+  if (view_refresh_interval_ == 0) return;
+  const uint64_t before =
+      offers_since_refresh_.fetch_add(weight, std::memory_order_relaxed);
+  if (before + weight < view_refresh_interval_) return;
+  bool expected = false;
+  if (!view_refresh_claim_.compare_exchange_strong(
+          expected, true, std::memory_order_acquire)) {
+    return;  // a concurrent refresher is already publishing a fresher view
+  }
+  offers_since_refresh_.store(0, std::memory_order_relaxed);
+  PublishView(participant);
+  view_refresh_claim_.store(false, std::memory_order_release);
+}
+
+void CotsFleet::RefreshQueryView() {
+  bool expected = false;
+  while (!view_refresh_claim_.compare_exchange_weak(
+      expected, true, std::memory_order_acquire)) {
+    expected = false;
+    std::this_thread::yield();
+  }
+  offers_since_refresh_.store(0, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(view_query_mu_);
+    PublishView(view_query_participant_);
+  }
+  view_refresh_claim_.store(false, std::memory_order_release);
 }
 
 }  // namespace cots

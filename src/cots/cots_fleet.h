@@ -61,6 +61,16 @@ struct CotsFleetOptions {
   /// Off by default: with shard counts in the single digits the serial
   /// fold wins (the paper's hierarchical-merge result, Section 4.1).
   bool hierarchical_merge = false;
+  /// Fleet-level occurrences between automatic published-view refreshes
+  /// (DESIGN.md §11): every interval, the offering thread folds the shards
+  /// into one immutable global view (merged counters + summed stream
+  /// length + composed min_freq) and publishes it, so fleet point queries
+  /// are one wait-free probe instead of a shard lookup plus an O(shards)
+  /// stream-length fold. 0 (default) = manual RefreshQueryView() only.
+  /// Distinct from engine.view_refresh_interval, which would publish
+  /// per-shard views — useful alone, but not what fleet-global queries
+  /// consume.
+  uint64_t view_refresh_interval = 0;
 
   Status Validate();
 };
@@ -72,9 +82,15 @@ class CotsFleet : public FrequencySummary {
  public:
   /// Per-thread session holding one engine handle per shard plus the
   /// routing scratch. Single-threaded by contract, like the engine's.
-  class ThreadHandle {
+  ///
+  /// Like the engine's handle, this is a FrequencySummary: reads route to
+  /// the home shard (Lookup) or fold the fleet (set queries), and
+  /// AcquireQueryView pins this thread's slot in the fleet's view-epoch
+  /// domain and returns the published global view — the lock-free path
+  /// query threads should use.
+  class ThreadHandle : public FrequencySummary {
    public:
-    ~ThreadHandle() = default;
+    ~ThreadHandle() override;
     COTS_DISALLOW_COPY_AND_ASSIGN(ThreadHandle);
 
     /// Counts `weight` occurrences of e on its home shard. Returns false —
@@ -90,8 +106,18 @@ class CotsFleet : public FrequencySummary {
     /// flushed before returning; nothing is carried across calls.
     bool OfferBatch(const ElementId* elements, size_t count);
 
+    // FrequencySummary:
     /// Lock-free point lookup on the element's home shard.
-    std::optional<Counter> Lookup(ElementId e) const;
+    std::optional<Counter> Lookup(ElementId e) const override;
+    /// Merged global snapshot (O(shards * capacity) fold — the published
+    /// view serves set queries without this cost).
+    std::vector<Counter> CountersDescending() const override;
+    uint64_t stream_length() const override;
+    size_t num_counters() const override;
+    /// Pins this thread's view-epoch slot and returns the fleet's
+    /// published global view (nullptr before the first refresh). Wait-free.
+    const PublishedView* AcquireQueryView() const override;
+    void ReleaseQueryView() const override;
 
    private:
     friend class CotsFleet;
@@ -99,6 +125,8 @@ class CotsFleet : public FrequencySummary {
 
     CotsFleet* fleet_;
     std::vector<std::unique_ptr<CotsSpaceSaving::ThreadHandle>> shards_;
+    // Slot in the fleet's view-epoch domain (view acquisition + retire).
+    EpochParticipant* view_participant_ = nullptr;
     // Reused per call; per-shard so one pass over the input both
     // partitions and preserves per-shard arrival order.
     std::vector<std::vector<ElementId>> route_;
@@ -149,7 +177,26 @@ class CotsFleet : public FrequencySummary {
   uint64_t stream_length() const override;
   size_t num_counters() const override;
 
+  /// Folds the shards into a global view and publishes it now (see
+  /// CotsSpaceSaving::RefreshQueryView for the staleness contract: on
+  /// return the view reflects a fold begun after this call).
+  void RefreshQueryView();
+
+  /// The published global view's refresh number (0 = never published).
+  uint64_t query_view_sequence() const {
+    return view_sequence_.load(std::memory_order_acquire);
+  }
+
+  /// Fleet-level view acquisition for unregistered threads (shared slot
+  /// behind a mutex held until ReleaseQueryView). Registered threads
+  /// should acquire through their ThreadHandle (lock-free).
+  const PublishedView* AcquireQueryView() const override;
+  void ReleaseQueryView() const override;
+
  private:
+  void PublishView(EpochParticipant* participant);
+  void MaybeAutoRefresh(EpochParticipant* participant, uint64_t weight);
+
   CotsFleetOptions options_;  // validated
   std::vector<std::unique_ptr<CotsSpaceSaving>> shards_;
 
@@ -157,6 +204,20 @@ class CotsFleet : public FrequencySummary {
   /// Fleet offers between the handshake and their last shard dispatch;
   /// Stop() waits for zero before touching any shard (see cots_fleet.cc).
   std::atomic<uint64_t> inflight_offers_{0};
+
+  // Published global view (DESIGN.md §11). The fleet has no engine-level
+  // EBR of its own, so view reclamation gets a dedicated epoch domain:
+  // readers pin a view_epochs_ slot around the pointer load, publishers
+  // retire the superseded view into it. Same publication protocol as the
+  // engine's (claim-serialized refreshers, acq_rel exchange).
+  mutable EpochManager view_epochs_;
+  uint64_t view_refresh_interval_ = 0;
+  std::atomic<const PublishedView*> published_view_{nullptr};
+  std::atomic<bool> view_refresh_claim_{false};
+  std::atomic<uint64_t> offers_since_refresh_{0};
+  std::atomic<uint64_t> view_sequence_{0};
+  mutable std::mutex view_query_mu_;
+  mutable EpochParticipant* view_query_participant_ = nullptr;
 };
 
 }  // namespace cots

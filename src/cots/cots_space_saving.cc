@@ -4,6 +4,7 @@
 #include <cmath>
 #include <thread>
 
+#include "core/published_view.h"
 #include "util/failpoint.h"
 
 namespace cots {
@@ -101,7 +102,8 @@ CotsSpaceSaving::CotsSpaceSaving(const CotsSpaceSavingOptions& options,
                                  ValidatedTag)
     : epochs_(options.max_threads, options.ebr_forced_advance_backlog),
       table_(TableOptions(options), &epochs_),
-      summary_(SummaryOptions(options), &table_, &epochs_) {
+      summary_(SummaryOptions(options), &table_, &epochs_),
+      view_refresh_interval_(options.view_refresh_interval) {
   assert(options.capacity > 0);
   query_participant_ = epochs_.Register();
   assert(query_participant_ != nullptr);
@@ -111,6 +113,10 @@ CotsSpaceSaving::~CotsSpaceSaving() {
   // Quiesce before any member is torn down: no delegated work may be in a
   // queue, parked, or mid-processing while the structures destruct.
   Stop();
+  // No reader can hold a view pin past Stop-plus-handle-destruction; the
+  // current view is ours to free directly (retired predecessors drain via
+  // DrainAll below).
+  delete published_view_.exchange(nullptr, std::memory_order_acq_rel);
   if (query_participant_ != nullptr) epochs_.Unregister(query_participant_);
   // Retired hash slots and buckets carry deleters that touch table_ and
   // summary_ memory; run them while that memory is still alive.
@@ -174,8 +180,13 @@ bool CotsSpaceSaving::ThreadHandle::Offer(ElementId e, uint64_t weight) {
     return false;
   }
   engine_->n_.fetch_add(weight, std::memory_order_relaxed);
-  EpochGuard guard(participant_);
-  OfferGuarded(e, weight);
+  {
+    EpochGuard guard(participant_);
+    OfferGuarded(e, weight);
+  }
+  // Outside the guard: a refresh snapshot pins its own epoch, and holding
+  // this offer's pin across it would stall reclamation.
+  engine_->MaybeAutoRefresh(participant_, weight);
   return true;
 }
 
@@ -211,61 +222,65 @@ bool CotsSpaceSaving::ThreadHandle::OfferBatch(
     return false;
   }
   engine_->n_.fetch_add(count, std::memory_order_relaxed);
-  EpochGuard guard(participant_);
+  {
+    EpochGuard guard(participant_);
 
-  if (!options.coalesce) {
-    // Uncoalesced pipeline: prefetch hash buckets a fixed distance ahead
-    // so Delegate's dependent-load walk overlaps across elements.
-    const size_t dist = options.prefetch_distance;
-    for (size_t i = 0; i < count; ++i) {
-      if (dist != 0 && i + dist < count) {
-        engine_->table_.PrefetchBucket(elements[i + dist]);
+    if (!options.coalesce) {
+      // Uncoalesced pipeline: prefetch hash buckets a fixed distance ahead
+      // so Delegate's dependent-load walk overlaps across elements.
+      const size_t dist = options.prefetch_distance;
+      for (size_t i = 0; i < count; ++i) {
+        if (dist != 0 && i + dist < count) {
+          engine_->table_.PrefetchBucket(elements[i + dist]);
+        }
+        OfferGuarded(elements[i], 1);
       }
-      OfferGuarded(elements[i], 1);
-    }
-    return true;
-  }
+    } else {
+      // Coalesce duplicate keys inside the batch window into (key, weight)
+      // lumps, preserving first-occurrence order. The stamped index makes
+      // the per-batch reset O(1) instead of O(table).
+      const size_t want_slots = RoundUpPowerOfTwo(count * 2);
+      if (coalesce_slots_.size() < want_slots) {
+        coalesce_slots_.assign(want_slots, CoalesceSlot{});
+      }
+      const size_t mask = coalesce_slots_.size() - 1;
+      const uint64_t stamp = ++coalesce_stamp_;
+      coalesced_.clear();
+      for (size_t i = 0; i < count; ++i) {
+        const ElementId e = elements[i];
+        size_t slot = static_cast<size_t>(MixKey(e)) & mask;
+        for (;;) {
+          CoalesceSlot& s = coalesce_slots_[slot];
+          if (s.stamp != stamp) {
+            s.stamp = stamp;
+            s.index = static_cast<uint32_t>(coalesced_.size());
+            coalesced_.emplace_back(e, uint64_t{1});
+            break;
+          }
+          if (coalesced_[s.index].first == e) {
+            ++coalesced_[s.index].second;
+            break;
+          }
+          slot = (slot + 1) & mask;  // linear probe
+        }
+      }
+      COTS_COUNTER_ADD("ingest.coalesce_hits",
+                       static_cast<uint64_t>(count - coalesced_.size()));
+      COTS_HISTOGRAM_RECORD("ingest.batch_distinct", coalesced_.size());
 
-  // Coalesce duplicate keys inside the batch window into (key, weight)
-  // lumps, preserving first-occurrence order. The stamped index makes the
-  // per-batch reset O(1) instead of O(table).
-  const size_t want_slots = RoundUpPowerOfTwo(count * 2);
-  if (coalesce_slots_.size() < want_slots) {
-    coalesce_slots_.assign(want_slots, CoalesceSlot{});
-  }
-  const size_t mask = coalesce_slots_.size() - 1;
-  const uint64_t stamp = ++coalesce_stamp_;
-  coalesced_.clear();
-  for (size_t i = 0; i < count; ++i) {
-    const ElementId e = elements[i];
-    size_t slot = static_cast<size_t>(MixKey(e)) & mask;
-    for (;;) {
-      CoalesceSlot& s = coalesce_slots_[slot];
-      if (s.stamp != stamp) {
-        s.stamp = stamp;
-        s.index = static_cast<uint32_t>(coalesced_.size());
-        coalesced_.emplace_back(e, uint64_t{1});
-        break;
+      const size_t dist = options.prefetch_distance;
+      const size_t distinct = coalesced_.size();
+      for (size_t i = 0; i < distinct; ++i) {
+        if (dist != 0 && i + dist < distinct) {
+          engine_->table_.PrefetchBucket(coalesced_[i + dist].first);
+        }
+        OfferGuarded(coalesced_[i].first, coalesced_[i].second);
       }
-      if (coalesced_[s.index].first == e) {
-        ++coalesced_[s.index].second;
-        break;
-      }
-      slot = (slot + 1) & mask;  // linear probe
     }
   }
-  COTS_COUNTER_ADD("ingest.coalesce_hits",
-                   static_cast<uint64_t>(count - coalesced_.size()));
-  COTS_HISTOGRAM_RECORD("ingest.batch_distinct", coalesced_.size());
-
-  const size_t dist = options.prefetch_distance;
-  const size_t distinct = coalesced_.size();
-  for (size_t i = 0; i < distinct; ++i) {
-    if (dist != 0 && i + dist < distinct) {
-      engine_->table_.PrefetchBucket(coalesced_[i + dist].first);
-    }
-    OfferGuarded(coalesced_[i].first, coalesced_[i].second);
-  }
+  // Outside the guard (see Offer); batch epoch pins are already the
+  // reclamation long pole, so the refresh must not extend them.
+  engine_->MaybeAutoRefresh(participant_, count);
   return true;
 }
 
@@ -331,6 +346,29 @@ std::vector<Counter> CotsSpaceSaving::ThreadHandle::CountersDescending()
   return engine_->summary_.CountersDescending(participant_);
 }
 
+uint64_t CotsSpaceSaving::ThreadHandle::stream_length() const {
+  return engine_->stream_length();
+}
+
+size_t CotsSpaceSaving::ThreadHandle::num_counters() const {
+  return engine_->num_counters();
+}
+
+const PublishedView* CotsSpaceSaving::ThreadHandle::AcquireQueryView() const {
+  // The epoch pin must cover the pointer load: a view unreachable before
+  // our Enter() can only be freed two epochs later, so whatever we load
+  // here stays alive until ReleaseQueryView.
+  participant_->Enter();
+  const PublishedView* view =
+      engine_->published_view_.load(std::memory_order_acquire);
+  if (view == nullptr) participant_->Exit();
+  return view;
+}
+
+void CotsSpaceSaving::ThreadHandle::ReleaseQueryView() const {
+  participant_->Exit();
+}
+
 std::optional<Counter> CotsSpaceSaving::Lookup(ElementId e) const {
   std::lock_guard<std::mutex> lock(query_mu_);
   return LookupWith(query_participant_, e);
@@ -344,6 +382,87 @@ std::vector<Counter> CotsSpaceSaving::CountersDescending() const {
 uint64_t CotsSpaceSaving::MinFreq() const {
   std::lock_guard<std::mutex> lock(query_mu_);
   return summary_.MinFreq(query_participant_);
+}
+
+const PublishedView* CotsSpaceSaving::AcquireQueryView() const {
+  // The shared-slot convenience path: the mutex is held until
+  // ReleaseQueryView so the slot's epoch pin can't be dropped by a
+  // concurrent engine-level query. Registered threads use their handle's
+  // lock-free acquisition instead.
+  query_mu_.lock();
+  query_participant_->Enter();
+  const PublishedView* view =
+      published_view_.load(std::memory_order_acquire);
+  if (view == nullptr) {
+    query_participant_->Exit();
+    query_mu_.unlock();
+  }
+  return view;
+}
+
+void CotsSpaceSaving::ReleaseQueryView() const {
+  query_participant_->Exit();
+  query_mu_.unlock();
+}
+
+void CotsSpaceSaving::PublishView(EpochParticipant* participant) {
+  // Capture N first: an offer accounts its weight into n_ before touching
+  // the summary, so every offer fully applied when the snapshot below runs
+  // is covered by this figure (the view may additionally report length for
+  // offers still in flight — conservative for thresholds).
+  const uint64_t n = n_.load(std::memory_order_acquire);
+  std::vector<Counter> counters = summary_.CountersDescending(participant);
+  const uint64_t min_freq = summary_.MinFreq(participant);
+  const uint64_t seq = view_sequence_.load(std::memory_order_relaxed) + 1;
+  const PublishedView* next =
+      PublishedView::Build(std::move(counters), n, min_freq, seq);
+  COTS_FAILPOINT("view.publish");
+  const PublishedView* prev =
+      published_view_.exchange(next, std::memory_order_acq_rel);
+  view_sequence_.store(seq, std::memory_order_release);
+  COTS_COUNTER_INC("view.refreshes");
+  if (prev != nullptr) {
+    // Readers that acquired `prev` hold epoch pins; EBR defers the free
+    // past their Exit. Retire requires an active participant.
+    EpochGuard guard(participant);
+    participant->Retire(const_cast<PublishedView*>(prev));
+  }
+}
+
+void CotsSpaceSaving::MaybeAutoRefresh(EpochParticipant* participant,
+                                       uint64_t weight) {
+  if (view_refresh_interval_ == 0) return;
+  const uint64_t before =
+      offers_since_refresh_.fetch_add(weight, std::memory_order_relaxed);
+  if (before + weight < view_refresh_interval_) return;
+  // Single-refresher claim: if someone else is mid-publish, their view is
+  // at most an interval stale already — skip rather than queue up.
+  bool expected = false;
+  if (!view_refresh_claim_.compare_exchange_strong(
+          expected, true, std::memory_order_acquire)) {
+    return;
+  }
+  offers_since_refresh_.store(0, std::memory_order_relaxed);
+  PublishView(participant);
+  view_refresh_claim_.store(false, std::memory_order_release);
+}
+
+void CotsSpaceSaving::RefreshQueryView() {
+  // Wait out any in-flight auto-refresh: its snapshot may predate offers
+  // this caller has already observed, and the staleness contract for an
+  // explicit refresh is "reflects a refresh that began after the call".
+  bool expected = false;
+  while (!view_refresh_claim_.compare_exchange_weak(
+      expected, true, std::memory_order_acquire)) {
+    expected = false;
+    std::this_thread::yield();
+  }
+  offers_since_refresh_.store(0, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(query_mu_);
+    PublishView(query_participant_);
+  }
+  view_refresh_claim_.store(false, std::memory_order_release);
 }
 
 }  // namespace cots

@@ -108,6 +108,14 @@ struct CotsSpaceSavingOptions {
   /// reclamation latency matters more than advance overhead — e.g. many
   /// small shards where a parked laggard's backlog is capacity-sized.
   size_t ebr_forced_advance_backlog = 0;
+  /// Offers between automatic published-view refreshes (DESIGN.md §11).
+  /// Every `view_refresh_interval` counted occurrences, the offering thread
+  /// rebuilds the immutable query view and publishes it; point queries then
+  /// serve from the view with staleness <= one interval. 0 (default)
+  /// disables auto-refresh — the view exists only after an explicit
+  /// RefreshQueryView() call, and queries fall back to the live structure
+  /// until then.
+  uint64_t view_refresh_interval = 0;
 
   Status Validate();
 };
@@ -116,9 +124,16 @@ class CotsSpaceSaving : public FrequencySummary {
  public:
   /// Per-thread session. Obtain via RegisterThread(); destroy (or let go
   /// out of scope) when the thread stops feeding the engine.
-  class ThreadHandle {
+  ///
+  /// A handle is itself a FrequencySummary over the engine, with every
+  /// read served through this thread's own epoch slot — lock-free, unlike
+  /// the engine-level interface which shares a mutex-guarded slot. Query
+  /// threads should register a handle and point a QueryEngine at it: the
+  /// published-view path (AcquireQueryView) is then one wait-free epoch
+  /// pin + pointer load per query.
+  class ThreadHandle : public FrequencySummary {
    public:
-    ~ThreadHandle();
+    ~ThreadHandle() override;
     COTS_DISALLOW_COPY_AND_ASSIGN(ThreadHandle);
 
     /// Processes `weight` occurrences of e. Wait-free unless this thread
@@ -146,11 +161,19 @@ class CotsSpaceSaving : public FrequencySummary {
     bool OfferBatch(const ElementId* elements, size_t count,
                     const BatchIngestOptions& options);
 
-    /// Point lookup through this thread's epoch slot (lock-free).
-    std::optional<Counter> Lookup(ElementId e) const;
-
-    /// Set snapshot through this thread's epoch slot (lock-free).
-    std::vector<Counter> CountersDescending() const;
+    // FrequencySummary, all through this thread's epoch slot (lock-free).
+    /// Point lookup against the live structure.
+    std::optional<Counter> Lookup(ElementId e) const override;
+    /// Seqlock-leased set snapshot of the live structure.
+    std::vector<Counter> CountersDescending() const override;
+    uint64_t stream_length() const override;
+    size_t num_counters() const override;
+    /// Pins this thread's epoch and returns the engine's published view
+    /// (nullptr before the first refresh — the pin is dropped and callers
+    /// take the live-structure path). One reentrant epoch Enter + one
+    /// acquire load: wait-free, no locks, no seqlock retries.
+    const PublishedView* AcquireQueryView() const override;
+    void ReleaseQueryView() const override;
 
     EpochParticipant* participant() { return participant_; }
 
@@ -228,6 +251,27 @@ class CotsSpaceSaving : public FrequencySummary {
   /// Bound on any unmonitored element's frequency (0 while not full).
   uint64_t MinFreq() const;
 
+  /// Rebuilds and publishes the query view now, regardless of the
+  /// auto-refresh interval. Blocks out any concurrent auto-refresh, so on
+  /// return the published view reflects a refresh that began after this
+  /// call — every offer fully applied before the call is visible to
+  /// subsequent view queries (the staleness contract, DESIGN.md §11).
+  /// Thread-safe; callable with ingest running.
+  void RefreshQueryView();
+
+  /// The current published view's refresh number (0 = never published).
+  /// Test/monitoring helper.
+  uint64_t query_view_sequence() const {
+    return view_sequence_.load(std::memory_order_acquire);
+  }
+
+  /// Engine-level view acquisition for unregistered threads: takes the
+  /// shared query slot's mutex and holds it until ReleaseQueryView — a
+  /// convenience path, not the fast one. Query threads that care should
+  /// register a ThreadHandle and acquire through it (lock-free).
+  const PublishedView* AcquireQueryView() const override;
+  void ReleaseQueryView() const override;
+
   const ConcurrentStreamSummary::Stats& stats() const {
     return summary_.stats();
   }
@@ -262,6 +306,16 @@ class CotsSpaceSaving : public FrequencySummary {
   std::optional<Counter> LookupWith(EpochParticipant* participant,
                                     ElementId e) const;
 
+  // Builds a view from the live structure and publishes it, retiring the
+  // superseded view through `participant`'s EBR slot. Caller must hold the
+  // refresh claim (view_refresh_claim_); `participant` must be usable from
+  // the calling thread.
+  void PublishView(EpochParticipant* participant);
+  // Auto-refresh check, called after each counted offer/batch with the
+  // occurrence weight it contributed. Never blocks: if another thread holds
+  // the refresh claim, the refresh is skipped (theirs is fresh enough).
+  void MaybeAutoRefresh(EpochParticipant* participant, uint64_t weight);
+
   // Destruction order matters: participants/retired garbage drain into
   // epochs_, so it must outlive table_ and summary_ (declared first =
   // destroyed last).
@@ -279,6 +333,17 @@ class CotsSpaceSaving : public FrequencySummary {
   // Shared query slot for the virtual FrequencySummary interface.
   mutable std::mutex query_mu_;
   mutable EpochParticipant* query_participant_ = nullptr;
+
+  // Epoch-published query view (DESIGN.md §11). published_view_ is written
+  // with an acq_rel exchange by the claim holder and read with acquire
+  // loads under an epoch pin; superseded views are EBR-retired, so readers
+  // never see freed memory. view_refresh_claim_ serializes refreshers
+  // (auto-refreshers skip when contended; RefreshQueryView waits).
+  uint64_t view_refresh_interval_ = 0;
+  std::atomic<const PublishedView*> published_view_{nullptr};
+  std::atomic<bool> view_refresh_claim_{false};
+  std::atomic<uint64_t> offers_since_refresh_{0};
+  std::atomic<uint64_t> view_sequence_{0};
 };
 
 }  // namespace cots

@@ -32,6 +32,14 @@ void EpochParticipant::Exit() {
   assert(depth_ > 0);
   if (--depth_ > 0) return;
   epoch_.store(kInactive, std::memory_order_release);
+  if (COTS_UNLIKELY(backlog_ >= manager_->forced_advance_backlog_)) {
+    // The common reason a forced advance keeps refusing under heavy churn
+    // is this thread's own pin (a batch holds the guard across hundreds of
+    // retires). The instant the pin drops is the first moment that backlog
+    // is actually drainable — attempt it now rather than letting the next
+    // retire discover it.
+    ForcedAdvanceAndFree();
+  }
 }
 
 void EpochParticipant::RetireRaw(void* ptr, void (*deleter)(void*)) {
@@ -45,6 +53,7 @@ void EpochParticipant::RetireRaw(void* ptr, void (*deleter)(void*)) {
     // The slot cycled to a new epoch; anything still in it was retired at
     // bucket.epoch <= e - kBuckets < e - 2 and is free-able now.
     for (const GarbageNode& node : bucket.nodes) node.deleter(node.ptr);
+    backlog_ -= bucket.nodes.size();
     bucket.nodes.clear();
     bucket.epoch = e;
   }
@@ -53,31 +62,40 @@ void EpochParticipant::RetireRaw(void* ptr, void (*deleter)(void*)) {
   // slowly for the churn rate and memory is pooling behind the grace
   // period. Summed (not per-bucket) because after an advance the pooled
   // garbage lives in an older bucket the current epoch no longer pushes to.
-  size_t backlog = 0;
-  for (const GarbageBucket& b : buckets_) backlog += b.nodes.size();
-  COTS_HISTOGRAM_RECORD("ebr.retire_backlog", backlog);
-  if (COTS_UNLIKELY(backlog >= manager_->forced_advance_backlog_)) {
+  ++backlog_;
+  COTS_HISTOGRAM_RECORD("ebr.retire_backlog", backlog_);
+  if (COTS_UNLIKELY(backlog_ >= manager_->forced_advance_backlog_)) {
     // A parked laggard defeats the periodic cadence below: every attempt
     // fails while garbage pools behind the grace period (retire_backlog
     // mean ~970 with 26k laggard-blocked advances in BENCH_throughput.json
-    // before this path existed). Escalate to an attempt per retire so the
-    // first retire after the laggard unpins unwedges immediately, and free
-    // whatever the successful advance made reclaimable right here instead
-    // of waiting for this thread's next Enter.
-    COTS_COUNTER_INC("ebr.forced_advance_attempts");
+    // before this path existed). Escalate so the first retire after the
+    // laggard unpins unwedges immediately — but skip attempts that are
+    // provably futile (most of them: the retirer's own batch pin, or a
+    // blocker known to still be parked mid-section), which previously
+    // burned an O(slots) seq_cst scan per retire for nothing (3.3M
+    // attempts vs 948 successes in BENCH_throughput.json).
     retires_since_advance_ = 0;
-    if (manager_->TryAdvance()) {
-      // Successes vs attempts distinguishes "laggard refuses advances"
-      // (attempts ≫ successes) from "churn outruns the grace period"
-      // (successes keep up but the backlog stays capacity-sized anyway).
-      COTS_COUNTER_INC("ebr.forced_advance_successes");
-      const uint64_t now =
-          manager_->global_epoch_.load(std::memory_order_seq_cst);
-      if (now >= 2) FreeBucketsUpTo(now - 2);
-    }
+    ForcedAdvanceAndFree();
   } else if (++retires_since_advance_ >= kAdvanceEveryRetires) {
     retires_since_advance_ = 0;
     manager_->TryAdvance();
+  }
+}
+
+void EpochParticipant::ForcedAdvanceAndFree() {
+  if (manager_->AdvanceLikelyFutile(this)) {
+    COTS_COUNTER_INC("ebr.forced_advance_suppressed");
+    return;
+  }
+  COTS_COUNTER_INC("ebr.forced_advance_attempts");
+  if (manager_->TryAdvance()) {
+    // Successes vs attempts distinguishes "laggard refuses advances"
+    // (attempts ≫ successes) from "churn outruns the grace period"
+    // (successes keep up but the backlog stays capacity-sized anyway).
+    COTS_COUNTER_INC("ebr.forced_advance_successes");
+    const uint64_t now =
+        manager_->global_epoch_.load(std::memory_order_seq_cst);
+    if (now >= 2) FreeBucketsUpTo(now - 2);
   }
 }
 
@@ -85,6 +103,7 @@ void EpochParticipant::FreeBucketsUpTo(uint64_t safe_epoch) {
   for (GarbageBucket& bucket : buckets_) {
     if (!bucket.nodes.empty() && bucket.epoch <= safe_epoch) {
       for (const GarbageNode& node : bucket.nodes) node.deleter(node.ptr);
+      backlog_ -= bucket.nodes.size();
       bucket.nodes.clear();
     }
   }
@@ -118,6 +137,7 @@ EpochParticipant* EpochManager::Register() {
       slot.depth_ = 0;
       slot.last_seen_global_ = 0;
       slot.retires_since_advance_ = 0;
+      slot.backlog_ = 0;  // Unregister migrated any leftovers to orphans
       return &slot;
     }
   }
@@ -137,10 +157,19 @@ void EpochManager::Unregister(EpochParticipant* participant) {
 
 bool EpochManager::TryAdvance() {
   const uint64_t e = global_epoch_.load(std::memory_order_seq_cst);
-  for (const EpochParticipant& slot : slots_) {
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    const EpochParticipant& slot = slots_[i];
+    // Quiescent participants — unclaimed slots and claimed ones that are
+    // between critical sections (kInactive: parked pool workers, idle
+    // queriers) — cannot hold references and never block the advance.
     if (!slot.claimed_.load(std::memory_order_acquire)) continue;
     const uint64_t local = slot.epoch_.load(std::memory_order_seq_cst);
     if (local != EpochParticipant::kInactive && local != e) {
+      // A reader mid-section behind the epoch: the refusal is required for
+      // safety. Memoize who refused so forced retires can skip re-scanning
+      // until this slot moves (AdvanceLikelyFutile).
+      blocked_slot_.store(i, std::memory_order_relaxed);
+      blocked_epoch_.store(e, std::memory_order_relaxed);
       COTS_COUNTER_INC("ebr.advance_blocked_by_laggard");
       return false;
     }
@@ -153,6 +182,27 @@ bool EpochManager::TryAdvance() {
   COTS_COUNTER_INC("ebr.epoch_advances");
   if (e + 1 >= 2) FreeOrphansUpTo(e + 1 - 2);
   return true;
+}
+
+bool EpochManager::AdvanceLikelyFutile(const EpochParticipant* self) const {
+  const uint64_t e = global_epoch_.load(std::memory_order_seq_cst);
+  // Self-blocking: this thread is pinned behind the global epoch (typical
+  // for retires from inside a long batch guard after one advance already
+  // happened). No advance can succeed until our own Exit or re-Enter, so
+  // scanning is pointless — and Exit() retries the drain at exactly that
+  // moment.
+  const uint64_t own = self->epoch_.load(std::memory_order_relaxed);
+  if (own != EpochParticipant::kInactive && own != e) return true;
+  // Memoized blocker: if the slot that refused the last attempt is still
+  // mid-section at the same stale epoch and the global epoch hasn't moved,
+  // a new scan would refuse identically. Races only mis-time the filter:
+  // the safety decision stays inside TryAdvance's own scan.
+  const size_t blocked = blocked_slot_.load(std::memory_order_relaxed);
+  if (blocked == kNoBlocker || blocked >= slots_.size()) return false;
+  if (blocked_epoch_.load(std::memory_order_relaxed) != e) return false;
+  const uint64_t local =
+      slots_[blocked].epoch_.load(std::memory_order_seq_cst);
+  return local != EpochParticipant::kInactive && local != e;
 }
 
 void EpochManager::AddOrphans(std::vector<EpochParticipant::GarbageNode> nodes,

@@ -38,8 +38,8 @@ class EpochManager;
 class EpochParticipant {
  public:
   /// Default per-participant backlog (summed across epoch buckets) beyond
-  /// which Retire() escalates from the periodic advance cadence to an
-  /// attempt on every retire (plus an inline free of whatever a successful
+  /// which reclamation escalates from the periodic advance cadence to an
+  /// attempt per retire (plus an inline free of whatever a successful
   /// advance unlocked). Attempts and successes are counted separately
   /// ("ebr.forced_advance_attempts" / "ebr.forced_advance_successes") so a
   /// backlog that stays high despite the escalation is attributable: many
@@ -48,6 +48,20 @@ class EpochParticipant {
   /// grace period. The threshold is per-manager-configurable
   /// (EpochManager's constructor) — engines with many small shards lower it
   /// so a capacity-sized backlog cannot pool behind a parked laggard.
+  ///
+  /// Two refinements keep the escalation from being busywork (the original
+  /// shape burned 3.3M attempts for 948 successes in one bench run):
+  ///
+  ///  * Provably-futile attempts are suppressed before the O(slots) scan
+  ///    ("ebr.forced_advance_suppressed"): when the retiring thread itself
+  ///    is pinned behind the global epoch (a long batch pin — advance
+  ///    would refuse because of *us*), or when the participant that
+  ///    refused the last attempt is still pinned at the same stale epoch
+  ///    (two atomic loads via the manager's blocked-slot memo).
+  ///  * Exit() runs one advance+free attempt when the backlog is past the
+  ///    threshold: the moment this thread drops its pin is exactly when a
+  ///    self-blocked backlog becomes drainable, instead of waiting for the
+  ///    next retire to notice.
   static constexpr size_t kDefaultForcedAdvanceBacklog = 256;
 
   /// Enters an epoch-protected critical section. Reentrant.
@@ -89,12 +103,18 @@ class EpochParticipant {
   };
 
   void FreeBucketsUpTo(uint64_t safe_epoch);
+  // One advance + inline free, escalation-counted; shared by the forced
+  // path in RetireRaw and the exit-time drain.
+  void ForcedAdvanceAndFree();
 
   COTS_CACHE_ALIGNED std::atomic<uint64_t> epoch_{kInactive};
   std::atomic<bool> claimed_{false};
   int depth_ = 0;
   uint64_t last_seen_global_ = 0;
   int retires_since_advance_ = 0;
+  // Retired-but-unfreed nodes across all epoch buckets, maintained
+  // incrementally so Exit()'s backlog check is one compare, not a scan.
+  size_t backlog_ = 0;
   GarbageBucket buckets_[kBuckets];
   EpochManager* manager_ = nullptr;
 };
@@ -122,6 +142,17 @@ class EpochManager {
 
   /// Attempts one global epoch advance; called periodically by participants
   /// and usable directly by tests. Returns true if the epoch moved.
+  ///
+  /// Quiescent participants never block an advance: unclaimed slots and
+  /// claimed-but-inactive ones (threads between critical sections —
+  /// including parked pool workers, which Exit() their guard before
+  /// blocking) are skipped when establishing that every reader has reached
+  /// the current epoch. Only a participant *inside* a critical section
+  /// pinned at an older epoch refuses the advance, and that refusal is
+  /// load-bearing: it may still hold references into garbage retired under
+  /// that epoch. A refusal records the blocking slot in a memo that lets
+  /// retirers cheaply skip attempts that would refuse again (see
+  /// kDefaultForcedAdvanceBacklog).
   bool TryAdvance();
 
   /// Frees every retired object immediately, including garbage still held
@@ -139,13 +170,29 @@ class EpochManager {
  private:
   friend class EpochParticipant;
 
+  static constexpr size_t kNoBlocker = ~size_t{0};
+
   void AddOrphans(std::vector<EpochParticipant::GarbageNode> nodes,
                   uint64_t epoch);
   void FreeOrphansUpTo(uint64_t safe_epoch);
 
+  // True when a forced advance on behalf of `self` would certainly refuse:
+  // self is pinned behind the global epoch, or the memoized blocker from
+  // the last refusal is still pinned at the same stale epoch under the
+  // same global epoch. Purely a fast-path filter — a stale "false" only
+  // costs one futile scan, a stale "true" only delays the attempt to the
+  // next retire or Exit.
+  bool AdvanceLikelyFutile(const EpochParticipant* self) const;
+
   COTS_CACHE_ALIGNED std::atomic<uint64_t> global_epoch_{1};
   size_t forced_advance_backlog_;
   std::vector<EpochParticipant> slots_;
+
+  // Last refusal's blocking slot and the global epoch it refused at
+  // (racy-pair memo read by AdvanceLikelyFutile; see there for why races
+  // are harmless).
+  mutable std::atomic<size_t> blocked_slot_{kNoBlocker};
+  mutable std::atomic<uint64_t> blocked_epoch_{0};
 
   std::mutex orphan_mu_;
   struct OrphanBatch {
