@@ -10,7 +10,10 @@
 // against the live structure (mode=snapshot — the pre-view baseline, where
 // IsElementInTopK pays a selection over the full counter set per query).
 // Each cell reports ingest throughput plus the co-resident point-query
-// rate and sampled latency percentiles (p50/p99). tools/query_smoke.py
+// rate and sampled latency percentiles (p50/p99, via the shared
+// HistogramSnapshot::ValueAtQuantile implementation — log2 buckets, so
+// the reported value is exact to within a factor of 2, far below the
+// ~17x view/snapshot gap this bench exists to show). tools/query_smoke.py
 // gates the view/snapshot query-rate ratio from the --json report.
 
 #include <algorithm>
@@ -22,6 +25,7 @@
 
 #include "common/bench_common.h"
 #include "core/query.h"
+#include "util/metrics.h"
 #include "util/stopwatch.h"
 
 using namespace cots;
@@ -37,16 +41,6 @@ struct QueryCellResult {
   double p99_us = 0.0;
 };
 
-double PercentileUs(std::vector<double>& samples_us, double pct) {
-  if (samples_us.empty()) return 0.0;
-  const size_t idx = std::min(
-      samples_us.size() - 1,
-      static_cast<size_t>(pct * static_cast<double>(samples_us.size())));
-  std::nth_element(samples_us.begin(), samples_us.begin() + idx,
-                   samples_us.end());
-  return samples_us[idx];
-}
-
 // One matrix cell: `ingest_threads` slicing the stream through OfferBatch
 // while `query_threads` hammer point queries through their own handles
 // (the lock-free path). `view_refresh_interval` 0 = snapshot baseline.
@@ -61,16 +55,14 @@ QueryCellResult TimeCell(const Stream& stream, int ingest_threads,
 
   std::atomic<bool> stop{false};
   std::atomic<uint64_t> fired{0};
-  std::vector<std::vector<double>> sampled_us(
-      static_cast<size_t>(query_threads));
+  std::vector<HistogramSnapshot> sampled(static_cast<size_t>(query_threads));
   std::vector<std::thread> queriers;
   for (int q = 0; q < query_threads; ++q) {
     queriers.emplace_back([&, q] {
       auto handle = engine.RegisterThread();
       if (handle == nullptr) std::abort();
       QueryEngine queries(handle.get());
-      std::vector<double>& samples = sampled_us[static_cast<size_t>(q)];
-      samples.reserve(1 << 16);
+      HistogramSnapshot& samples = sampled[static_cast<size_t>(q)];
       uint64_t count = 0;
       uint64_t probe = 1;
       while (!stop.load(std::memory_order_relaxed)) {
@@ -85,9 +77,15 @@ QueryCellResult TimeCell(const Stream& stream, int ingest_threads,
           queries.IsElementFrequent(e, 0.001);
           queries.IsElementInTopK(e, 25);
           const auto end = std::chrono::steady_clock::now();
-          samples.push_back(
-              std::chrono::duration<double, std::micro>(end - begin).count() /
-              2.0);
+          const uint64_t per_query_ns =
+              static_cast<uint64_t>(
+                  std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      end - begin)
+                      .count()) /
+              2;
+          // Clamp to 1ns so sub-resolution samples land in a nonzero
+          // bucket (query_smoke.py gates p50/p99 > 0).
+          samples.Add(per_query_ns == 0 ? 1 : per_query_ns);
         } else {
           queries.IsElementFrequent(e, 0.001);
           queries.IsElementInTopK(e, 25);
@@ -125,12 +123,10 @@ QueryCellResult TimeCell(const Stream& stream, int ingest_threads,
                    ? static_cast<double>(result.queries_run) /
                          result.ingest_seconds
                    : 0.0;
-  std::vector<double> all;
-  for (std::vector<double>& s : sampled_us) {
-    all.insert(all.end(), s.begin(), s.end());
-  }
-  result.p50_us = PercentileUs(all, 0.50);
-  result.p99_us = PercentileUs(all, 0.99);
+  HistogramSnapshot all;
+  for (const HistogramSnapshot& s : sampled) all.Merge(s);
+  result.p50_us = all.ValueAtQuantile(0.50) / 1000.0;
+  result.p99_us = all.ValueAtQuantile(0.99) / 1000.0;
   return result;
 }
 

@@ -10,6 +10,7 @@
 #include "util/json_writer.h"
 #include "util/metrics.h"
 #include "util/stopwatch.h"
+#include "util/trace.h"
 #include "util/thread_utils.h"
 
 namespace cots {
@@ -94,6 +95,7 @@ std::string BenchReport::ToJson(const BenchConfig& config) const {
   w.Key("hardware_threads").Int(HardwareConcurrency());
   w.Key("topology").String(CpuTopologySummary());
   w.Key("metrics_enabled").Bool(COTS_METRICS_ENABLED != 0);
+  w.Key("trace_enabled").Bool(COTS_TRACE_ENABLED != 0);
   w.EndObject();
   w.Key("timings").BeginArray();
   const double hardware_threads = static_cast<double>(HardwareConcurrency());

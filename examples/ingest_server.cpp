@@ -7,8 +7,17 @@
 // batch either lands on its shards in full or is refused in full.
 //
 //   ./ingest_server --port=7171 --shards=4 --capacity=1000
-//     serves until SIGINT/SIGTERM, printing a top-k report every
+//     serves until SIGINT/SIGTERM, printing a top-k report plus a delta
+//     stats line (offers/s, ring-fallback delta, view staleness) every
 //     --report-ms milliseconds.
+//
+// A second loopback listener (--stats-port, ephemeral by default) serves
+// one-shot line commands: "stats\n" returns a JSON document with server
+// totals plus the full metrics snapshot (counters, histograms, gauges —
+// including the per-shard fleet.shard_stream_length.<i> gauges), and
+// "trace\n" returns the flight-recorder dump in Chrome trace-event JSON
+// (load in ui.perfetto.dev). --trace-out=FILE writes the same dump at
+// shutdown.
 //
 //   ./ingest_server --selftest --seconds=5
 //     spawns loopback client threads in-process, ingests for ~N seconds,
@@ -20,6 +29,7 @@
 #ifdef __linux__
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/epoll.h>
@@ -34,13 +44,17 @@
 #include <cstdlib>
 #include <cstring>
 #include <memory>
+#include <string>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
 #include "cots/cots_fleet.h"
 #include "stream/zipf_generator.h"
+#include "util/json_writer.h"
+#include "util/metrics.h"
 #include "util/random.h"
+#include "util/trace.h"
 
 namespace {
 
@@ -53,11 +67,16 @@ volatile std::sig_atomic_t g_interrupted = 0;
 void OnSignal(int) { g_interrupted = 1; }
 
 struct ServerConfig {
-  uint16_t port = 0;  // 0 = ephemeral (printed once bound)
-  size_t shards = 0;  // 0 = hardware threads
+  uint16_t port = 0;        // 0 = ephemeral (printed once bound)
+  uint16_t stats_port = 0;  // 0 = ephemeral (printed once bound)
+  size_t shards = 0;        // 0 = hardware threads
   size_t capacity = 1000;
   size_t topk = 10;
   int report_ms = 2000;
+  // Fleet-level auto-refresh interval for the published global view; keeps
+  // the view.staleness_offers gauge and view.publish spans live. 0 = off.
+  uint64_t view_refresh = 8192;
+  std::string trace_out;  // empty = no trace dump at shutdown
   bool selftest = false;
   int seconds = 5;
   int clients = 3;
@@ -70,6 +89,12 @@ ServerConfig ParseArgs(int argc, char** argv) {
     const char* a = argv[i];
     if (std::strncmp(a, "--port=", 7) == 0) {
       c.port = static_cast<uint16_t>(std::strtoul(a + 7, nullptr, 10));
+    } else if (std::strncmp(a, "--stats-port=", 13) == 0) {
+      c.stats_port = static_cast<uint16_t>(std::strtoul(a + 13, nullptr, 10));
+    } else if (std::strncmp(a, "--view-refresh=", 15) == 0) {
+      c.view_refresh = std::strtoull(a + 15, nullptr, 10);
+    } else if (std::strncmp(a, "--trace-out=", 12) == 0) {
+      c.trace_out = a + 12;
     } else if (std::strncmp(a, "--shards=", 9) == 0) {
       c.shards = std::strtoull(a + 9, nullptr, 10);
     } else if (std::strncmp(a, "--capacity=", 11) == 0) {
@@ -87,9 +112,10 @@ ServerConfig ParseArgs(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "unknown argument: %s\n"
-                   "usage: [--port=P] [--shards=N] [--capacity=M] [--topk=K] "
-                   "[--report-ms=MS] [--selftest [--seconds=S] "
-                   "[--clients=C]]\n",
+                   "usage: [--port=P] [--stats-port=P] [--shards=N] "
+                   "[--capacity=M] [--topk=K] [--report-ms=MS] "
+                   "[--view-refresh=N] [--trace-out=FILE] "
+                   "[--selftest [--seconds=S] [--clients=C]]\n",
                    a);
       std::exit(2);
     }
@@ -121,39 +147,68 @@ void EncodeLE64(uint64_t v, unsigned char* p) {
     }
 }
 
+bool WriteFile(const std::string& path, const std::string& body) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const bool ok =
+      std::fwrite(body.data(), 1, body.size(), f) == body.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+// Bind + listen a nonblocking loopback socket; returns the bound port via
+// *bound_port, -1 on failure.
+int ListenLoopback(uint16_t port, uint16_t* bound_port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0);
+  if (fd < 0) return -1;
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(fd, 64) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len);
+  *bound_port = ntohs(addr.sin_port);
+  return fd;
+}
+
 class IngestServer {
  public:
   IngestServer(const ServerConfig& config, CotsFleet* fleet)
-      : config_(config), fleet_(fleet) {}
+      : config_(config), fleet_(fleet) {
+    // One last-value gauge per shard, set from the server thread whenever
+    // a report or stats snapshot is taken — kMax folds each back out of
+    // the per-thread slots (only one thread ever writes them).
+    for (size_t i = 0; i < fleet->num_shards(); ++i) {
+      shard_gauges_.push_back(cots::MetricsRegistry::Global().RegisterGauge(
+          "fleet.shard_stream_length." + std::to_string(i)));
+    }
+  }
 
-  // Binds and listens; returns the bound port (0 on failure).
+  // Binds and listens (ingest + stats); returns the ingest port (0 on
+  // failure). stats_port() is valid afterwards.
   uint16_t Start() {
-    listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0);
+    uint16_t port = 0;
+    listen_fd_ = ListenLoopback(config_.port, &port);
     if (listen_fd_ < 0) return 0;
-    int one = 1;
-    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-    sockaddr_in addr{};
-    addr.sin_family = AF_INET;
-    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-    addr.sin_port = htons(config_.port);
-    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
-               sizeof(addr)) != 0 ||
-        ::listen(listen_fd_, 64) != 0) {
-      ::close(listen_fd_);
-      return 0;
-    }
-    socklen_t len = sizeof(addr);
-    ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+    stats_listen_fd_ = ListenLoopback(config_.stats_port, &stats_port_);
     epoll_fd_ = ::epoll_create1(0);
-    if (epoll_fd_ < 0) {
-      ::close(listen_fd_);
+    if (stats_listen_fd_ < 0 || epoll_fd_ < 0) {
+      Close();
       return 0;
     }
-    epoll_event ev{};
-    ev.events = EPOLLIN;
-    ev.data.fd = listen_fd_;
-    ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev);
-    return ntohs(addr.sin_port);
+    for (int fd : {listen_fd_, stats_listen_fd_}) {
+      epoll_event ev{};
+      ev.events = EPOLLIN;
+      ev.data.fd = fd;
+      ::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev);
+    }
+    return port;
   }
 
   // Runs the event loop until `done` becomes true (selftest) or a signal
@@ -177,10 +232,15 @@ class IngestServer {
       const int ready = ::epoll_wait(epoll_fd_, events, 64, timeout_ms);
       if (ready < 0 && errno != EINTR) break;
       for (int i = 0; i < ready; ++i) {
-        if (events[i].data.fd == listen_fd_) {
+        const int fd = events[i].data.fd;
+        if (fd == listen_fd_) {
           Accept();
+        } else if (fd == stats_listen_fd_) {
+          AcceptStats();
+        } else if (stats_conns_.count(fd) != 0) {
+          ServiceStats(fd);
         } else {
-          Service(events[i].data.fd, handle.get());
+          Service(fd, handle.get());
         }
       }
       if (stopping && ready <= 0 && connections_.empty()) break;
@@ -189,6 +249,8 @@ class IngestServer {
         if (now - last_report >=
             std::chrono::milliseconds(config_.report_ms)) {
           PrintTopK();
+          PrintDeltaLine(std::chrono::duration<double>(now - last_report)
+                             .count());
           last_report = now;
         }
       }
@@ -199,11 +261,16 @@ class IngestServer {
   }
 
   void Close() {
+    for (auto& [fd, buf] : stats_conns_) ::close(fd);
+    stats_conns_.clear();
     if (epoll_fd_ >= 0) ::close(epoll_fd_);
     if (listen_fd_ >= 0) ::close(listen_fd_);
+    if (stats_listen_fd_ >= 0) ::close(stats_listen_fd_);
+    epoll_fd_ = listen_fd_ = stats_listen_fd_ = -1;
   }
 
   uint64_t ingested() const { return ingested_; }
+  uint16_t stats_port() const { return stats_port_; }
 
   void PrintTopK() const {
     const cots::CounterSet view = fleet_->GlobalView();
@@ -218,6 +285,29 @@ class IngestServer {
                   static_cast<unsigned long long>(c.count),
                   static_cast<unsigned long long>(c.error));
     }
+  }
+
+  // The "stats" command's JSON document: server totals plus the full
+  // metrics snapshot. Folding the per-shard stream lengths into their
+  // gauges first means the metrics section is self-contained — a scraper
+  // never needs the "server" section to see shard balance.
+  std::string StatsJson() {
+    for (size_t i = 0; i < shard_gauges_.size(); ++i) {
+      cots::MetricsRegistry::Global().Set(shard_gauges_[i],
+                                          fleet_->shard(i).stream_length());
+    }
+    cots::JsonWriter w;
+    w.BeginObject();
+    w.Key("server").BeginObject();
+    w.Key("ingested").Uint(ingested_);
+    w.Key("shards").Uint(fleet_->num_shards());
+    w.Key("stream_length").Uint(fleet_->stream_length());
+    w.Key("trace_rings").Uint(cots::TraceRegistry::Global().num_rings());
+    w.EndObject();
+    w.Key("metrics");
+    cots::MetricsRegistry::Global().Snapshot().AppendJson(&w);
+    w.EndObject();
+    return w.str();
   }
 
  private:
@@ -237,6 +327,97 @@ class IngestServer {
       conn.pending.reserve(kDispatchBatch);
       connections_.emplace(fd, std::move(conn));
     }
+  }
+
+  void AcceptStats() {
+    for (;;) {
+      const int fd =
+          ::accept4(stats_listen_fd_, nullptr, nullptr, SOCK_NONBLOCK);
+      if (fd < 0) return;
+      epoll_event ev{};
+      ev.events = EPOLLIN;
+      ev.data.fd = fd;
+      if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+        ::close(fd);
+        continue;
+      }
+      stats_conns_.emplace(fd, std::string());
+    }
+  }
+
+  void CloseStats(int fd) {
+    ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+    ::close(fd);
+    stats_conns_.erase(fd);
+  }
+
+  // One-shot line protocol: read until '\n', serve the response, close.
+  // "trace" dumps the flight recorder; anything else (canonically "stats")
+  // gets the metrics snapshot, so `echo | nc` works as a health check.
+  void ServiceStats(int fd) {
+    std::string& cmd = stats_conns_[fd];
+    char buf[256];
+    bool peer_closed = false;
+    for (;;) {
+      const ssize_t r = ::read(fd, buf, sizeof(buf));
+      if (r > 0) {
+        cmd.append(buf, static_cast<size_t>(r));
+        if (cmd.size() > 4096) {  // not a line protocol client; drop it
+          CloseStats(fd);
+          return;
+        }
+        continue;
+      }
+      if (r < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+      peer_closed = true;
+      break;
+    }
+    const size_t nl = cmd.find('\n');
+    if (nl == std::string::npos) {
+      if (peer_closed) CloseStats(fd);  // hung up without a command
+      return;
+    }
+    std::string line = cmd.substr(0, nl);
+    while (!line.empty() && (line.back() == '\r' || line.back() == ' ')) {
+      line.pop_back();
+    }
+    std::string body =
+        line == "trace" ? cots::TraceRegistry::Global().DrainJson()
+                        : StatsJson();
+    body.push_back('\n');
+    // The response can be large (a trace dump is MBs); flip the fd to
+    // blocking for the write rather than growing an output-buffer state
+    // machine — stats clients are local tooling, not untrusted peers.
+    const int flags = ::fcntl(fd, F_GETFL);
+    if (flags >= 0) ::fcntl(fd, F_SETFL, flags & ~O_NONBLOCK);
+    size_t off = 0;
+    while (off < body.size()) {
+      const ssize_t w = ::write(fd, body.data() + off, body.size() - off);
+      if (w <= 0) break;
+      off += static_cast<size_t>(w);
+    }
+    CloseStats(fd);
+  }
+
+  // The --report-ms companion line: rate + raw deltas a human can watch
+  // scroll, sourced from the same metrics the stats endpoint serves.
+  void PrintDeltaLine(double seconds) {
+    const cots::MetricsSnapshot snap =
+        cots::MetricsRegistry::Global().Snapshot();
+    const uint64_t fallbacks =
+        snap.CounterValue("request_queue.fallback_allocations");
+    const double rate =
+        seconds > 0.0
+            ? static_cast<double>(ingested_ - last_ingested_) / seconds
+            : 0.0;
+    std::printf("[stats] offers/s=%.0f ring_fallbacks=+%llu "
+                "view_staleness=%llu\n",
+                rate,
+                static_cast<unsigned long long>(fallbacks - last_fallbacks_),
+                static_cast<unsigned long long>(
+                    snap.GaugeValue("view.staleness_offers")));
+    last_ingested_ = ingested_;
+    last_fallbacks_ = fallbacks;
   }
 
   void Service(int fd, CotsFleet::ThreadHandle* handle) {
@@ -291,10 +472,47 @@ class IngestServer {
   ServerConfig config_;
   CotsFleet* fleet_;
   int listen_fd_ = -1;
+  int stats_listen_fd_ = -1;
   int epoll_fd_ = -1;
+  uint16_t stats_port_ = 0;
   std::unordered_map<int, Connection> connections_;
+  std::unordered_map<int, std::string> stats_conns_;  // fd -> command bytes
+  std::vector<cots::GaugeId> shard_gauges_;
   uint64_t ingested_ = 0;
+  uint64_t last_ingested_ = 0;
+  uint64_t last_fallbacks_ = 0;
 };
+
+// Selftest stats probe: issues `command` against the stats port the way a
+// scraper would and returns the response body (empty on any failure).
+std::string QueryStatsPort(uint16_t port, const char* command) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return "";
+  }
+  std::string req = command;
+  req.push_back('\n');
+  if (::write(fd, req.data(), req.size()) !=
+      static_cast<ssize_t>(req.size())) {
+    ::close(fd);
+    return "";
+  }
+  std::string body;
+  char buf[16384];
+  for (;;) {
+    const ssize_t r = ::read(fd, buf, sizeof(buf));
+    if (r <= 0) break;
+    body.append(buf, static_cast<size_t>(r));
+  }
+  ::close(fd);
+  return body;
+}
 
 // Selftest client: connects to the loopback port and streams zipf-drawn
 // keys until the deadline, returning how many elements it wrote in full.
@@ -345,6 +563,7 @@ int RunSelftest(const ServerConfig& config) {
   CotsFleetOptions opt;
   opt.num_shards = config.shards;
   opt.engine.capacity = config.capacity;
+  opt.view_refresh_interval = config.view_refresh;
   if (!opt.Validate().ok()) {
     std::fprintf(stderr, "selftest: invalid fleet options\n");
     return 1;
@@ -357,8 +576,9 @@ int RunSelftest(const ServerConfig& config) {
     return 1;
   }
   std::printf("selftest: %d client(s) -> 127.0.0.1:%u, %d second(s), "
-              "%zu shard(s)\n",
-              config.clients, port, config.seconds, fleet.num_shards());
+              "%zu shard(s), stats on 127.0.0.1:%u\n",
+              config.clients, port, config.seconds, fleet.num_shards(),
+              server.stats_port());
 
   std::atomic<bool> done{false};
   std::thread server_thread([&] { server.Run(&done); });
@@ -371,13 +591,40 @@ int RunSelftest(const ServerConfig& config) {
           RunClient(port, config.seconds, 0x5eed + 31 * c));
     });
   }
+  // Probe the stats endpoint mid-ingest, the way a live scraper would:
+  // the snapshot must parse as an object and carry the gauges section.
+  std::atomic<bool> stats_ok{false};
+  std::thread prober([&] {
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(500 * config.seconds));
+    const std::string body = QueryStatsPort(server.stats_port(), "stats");
+    stats_ok.store(!body.empty() && body.front() == '{' &&
+                   body.find("\"gauges\"") != std::string::npos &&
+                   body.find("\"stream_length\"") != std::string::npos);
+  });
   for (std::thread& t : clients) t.join();
+  prober.join();
   done.store(true);
   server_thread.join();
   server.Close();
   fleet.Stop();
 
+  if (!config.trace_out.empty()) {
+    const std::string trace = cots::TraceRegistry::Global().DrainJson();
+    if (!WriteFile(config.trace_out, trace)) {
+      std::fprintf(stderr, "selftest FAIL: cannot write %s\n",
+                   config.trace_out.c_str());
+      return 1;
+    }
+    std::printf("selftest: wrote trace (%zu bytes) to %s\n", trace.size(),
+                config.trace_out.c_str());
+  }
+
   server.PrintTopK();
+  if (!stats_ok.load()) {
+    std::fprintf(stderr, "selftest FAIL: stats endpoint probe failed\n");
+    return 1;
+  }
   const uint64_t sent = total_sent.load();
   const uint64_t counted = fleet.stream_length();
   std::printf("selftest: sent %llu, counted %llu\n",
@@ -410,6 +657,7 @@ int main(int argc, char** argv) {
   CotsFleetOptions opt;
   opt.num_shards = config.shards;
   opt.engine.capacity = config.capacity;
+  opt.view_refresh_interval = config.view_refresh;
   if (!opt.Validate().ok()) {
     std::fprintf(stderr, "ingest_server: invalid fleet options\n");
     return 1;
@@ -425,12 +673,21 @@ int main(int argc, char** argv) {
   std::printf("ingest_server: listening on 127.0.0.1:%u (%zu shard(s), "
               "capacity %zu); protocol: raw little-endian uint64 keys\n",
               port, fleet.num_shards(), config.capacity);
+  std::printf("ingest_server: stats on 127.0.0.1:%u "
+              "(send \"stats\\n\" or \"trace\\n\")\n",
+              server.stats_port());
   server.Run(nullptr);
   server.Close();
   fleet.Stop();
   std::printf("ingest_server: stopped after %llu elements\n",
               static_cast<unsigned long long>(server.ingested()));
   server.PrintTopK();
+  if (!config.trace_out.empty() &&
+      WriteFile(config.trace_out,
+                cots::TraceRegistry::Global().DrainJson())) {
+    std::printf("ingest_server: wrote trace to %s\n",
+                config.trace_out.c_str());
+  }
   return 0;
 }
 

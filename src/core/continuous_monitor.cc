@@ -3,6 +3,7 @@
 #include <chrono>
 
 #include "util/stopwatch.h"
+#include "util/trace.h"
 
 namespace cots {
 
@@ -60,6 +61,8 @@ void ContinuousMonitor::Loop() {
       }
     }
     if (due) {
+      COTS_TRACE_SPAN(span, "monitor.round");
+      span.SetArg(n);
       callback_(queries, n);
       fired_.fetch_add(1, std::memory_order_relaxed);
     } else {

@@ -10,6 +10,7 @@
 #include "util/failpoint.h"
 #include "util/metrics.h"
 #include "util/spinlock.h"
+#include "util/trace.h"
 
 namespace cots {
 
@@ -491,10 +492,16 @@ bool ConcurrentStreamSummary::ProcessRequest(FreqBucket* bucket,
 
 void ConcurrentStreamSummary::TryProcessBucket(FreqBucket* bucket,
                                                WorkContext* ctx) {
+  // Span over the whole dispatch (every hold this call takes), recorded
+  // only when requests were actually applied — idle revisits and lost
+  // hold races stay out of the trace ring.
+  COTS_TRACE_SPAN(span, "summary.dispatch");
+  uint64_t dispatched = 0;
   for (;;) {
     if (bucket->held.exchange(true, std::memory_order_acquire)) {
       // Someone else holds it; by the delegation contract they drain our
       // request before releasing (or the post-release recheck catches it).
+      if (dispatched == 0) span.Cancel();
       return;
     }
     // Dead successors can only be unlinked while holding their
@@ -515,6 +522,11 @@ void ConcurrentStreamSummary::TryProcessBucket(FreqBucket* bucket,
       // was applied without its sender ever touching the structure.
       if (drained > 0) {
         COTS_HISTOGRAM_RECORD("summary.drain_batch", drained);
+        // The drain size is the queue depth at the moment of the drain;
+        // the watermark gauge keeps the worst depth any hold ever saw.
+        COTS_GAUGE_RAISE("summary.queue_depth_watermark", drained);
+        dispatched += drained;
+        span.SetArg(dispatched);
       }
       // Parked overwrites are retried once per hold and whenever new
       // requests arrive (an arriving increment is exactly the event that
@@ -580,6 +592,7 @@ void ConcurrentStreamSummary::TryProcessBucket(FreqBucket* bucket,
         !bucket->gc.load(std::memory_order_relaxed) &&
         bucket->queue.CloseIfEmpty()) {
       bucket->gc.store(true, std::memory_order_release);
+      COTS_TRACE_INSTANT("summary.bucket_close");
     }
     if (bucket->gc.load(std::memory_order_relaxed) &&
         !bucket->parked.empty()) {
@@ -587,12 +600,16 @@ void ConcurrentStreamSummary::TryProcessBucket(FreqBucket* bucket,
       std::vector<Request> orphans;
       orphans.swap(bucket->parked);
       bucket->parked_count.store(0, std::memory_order_release);
+      COTS_TRACE_INSTANT_ARG("summary.orphan_forward", orphans.size());
       for (const Request& request : orphans) Dispatch(request, ctx);
     }
     bucket->held.store(false, std::memory_order_release);
     // Requests that arrived between the final drain and the release would
     // be stranded if we left now — re-acquire and go again.
-    if (bucket->queue.closed() || bucket->queue.empty()) return;
+    if (bucket->queue.closed() || bucket->queue.empty()) {
+      if (dispatched == 0) span.Cancel();
+      return;
+    }
   }
 }
 

@@ -7,6 +7,7 @@
 #include "util/failpoint.h"
 #include "util/metrics.h"
 #include "util/thread_utils.h"
+#include "util/trace.h"
 
 namespace cots {
 
@@ -128,6 +129,7 @@ void CotsFleet::Stop() {
     }
     return;
   }
+  COTS_TRACE_SPAN(span, "fleet.stop_drain");
   // Every offer that won the handshake before the CAS above is visible in
   // inflight_offers_; every later offer observes Draining and refuses
   // before touching any shard. Shards stay Running through this wait, so a
@@ -181,9 +183,12 @@ bool CotsFleet::ThreadHandle::Offer(ElementId e, uint64_t weight) {
 bool CotsFleet::ThreadHandle::OfferBatch(const ElementId* elements,
                                          size_t count) {
   if (count == 0) return true;
+  COTS_TRACE_SPAN(span, "fleet.offer_batch");
+  span.SetArg(count);
   InflightScope inflight(&fleet_->inflight_offers_);
   if (fleet_->state_.load(std::memory_order_seq_cst) !=
       EngineState::kRunning) {
+    span.Cancel();
     return false;
   }
   if (shards_.size() == 1) {
@@ -315,12 +320,14 @@ void CotsFleet::ReleaseQueryView() const {
 }
 
 void CotsFleet::PublishView(EpochParticipant* participant) {
+  COTS_TRACE_SPAN(span, "view.publish");
   // Stream length first (see CotsSpaceSaving::PublishView): every fleet
   // offer that fully landed before the fold below is covered, because
   // shards account n before mutating their summaries.
   const uint64_t n = stream_length();
   CounterSet global = GlobalView();
   const uint64_t seq = view_sequence_.load(std::memory_order_relaxed) + 1;
+  span.SetArg(seq);
   const PublishedView* next = PublishedView::Build(
       global.CountersDescending(), n, global.min_freq(), seq);
   COTS_FAILPOINT("view.publish");
@@ -339,6 +346,9 @@ void CotsFleet::MaybeAutoRefresh(EpochParticipant* participant,
   if (view_refresh_interval_ == 0) return;
   const uint64_t before =
       offers_since_refresh_.fetch_add(weight, std::memory_order_relaxed);
+  // See CotsSpaceSaving::MaybeAutoRefresh: view staleness in offers as
+  // observed by this thread; snapshot reports the worst thread.
+  COTS_GAUGE_SET("view.staleness_offers", before + weight);
   if (before + weight < view_refresh_interval_) return;
   bool expected = false;
   if (!view_refresh_claim_.compare_exchange_strong(

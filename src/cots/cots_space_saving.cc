@@ -6,6 +6,7 @@
 
 #include "core/published_view.h"
 #include "util/failpoint.h"
+#include "util/trace.h"
 
 namespace cots {
 
@@ -214,11 +215,14 @@ bool CotsSpaceSaving::ThreadHandle::OfferBatch(
     const ElementId* elements, size_t count,
     const BatchIngestOptions& options) {
   if (count == 0) return true;
+  COTS_TRACE_SPAN(span, "engine.offer_batch");
+  span.SetArg(count);
   InflightScope inflight(&engine_->inflight_offers_);
   // Same Dekker handshake as Offer: the whole batch is refused atomically
   // once Stop() has begun, so a batch is never half-counted.
   if (engine_->state_.load(std::memory_order_seq_cst) !=
       EngineState::kRunning) {
+    span.Cancel();
     return false;
   }
   engine_->n_.fetch_add(count, std::memory_order_relaxed);
@@ -406,6 +410,7 @@ void CotsSpaceSaving::ReleaseQueryView() const {
 }
 
 void CotsSpaceSaving::PublishView(EpochParticipant* participant) {
+  COTS_TRACE_SPAN(span, "view.publish");
   // Capture N first: an offer accounts its weight into n_ before touching
   // the summary, so every offer fully applied when the snapshot below runs
   // is covered by this figure (the view may additionally report length for
@@ -414,6 +419,7 @@ void CotsSpaceSaving::PublishView(EpochParticipant* participant) {
   std::vector<Counter> counters = summary_.CountersDescending(participant);
   const uint64_t min_freq = summary_.MinFreq(participant);
   const uint64_t seq = view_sequence_.load(std::memory_order_relaxed) + 1;
+  span.SetArg(seq);
   const PublishedView* next =
       PublishedView::Build(std::move(counters), n, min_freq, seq);
   COTS_FAILPOINT("view.publish");
@@ -434,6 +440,9 @@ void CotsSpaceSaving::MaybeAutoRefresh(EpochParticipant* participant,
   if (view_refresh_interval_ == 0) return;
   const uint64_t before =
       offers_since_refresh_.fetch_add(weight, std::memory_order_relaxed);
+  // Offers applied since the last publish = how stale the view this
+  // thread's queries would see is, in offers. kMax fold: worst thread.
+  COTS_GAUGE_SET("view.staleness_offers", before + weight);
   if (before + weight < view_refresh_interval_) return;
   // Single-refresher claim: if someone else is mid-publish, their view is
   // at most an interval stale already — skip rather than queue up.

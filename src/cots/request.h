@@ -41,6 +41,7 @@
 #include "util/macros.h"
 #include "util/metrics.h"
 #include "util/spinlock.h"
+#include "util/trace.h"
 
 namespace cots {
 
@@ -289,6 +290,10 @@ class RequestQueue {
     COTS_COUNTER_INC("request_queue.fallback_allocations");
     overflow_.push_back(request);
     overflow_count_.store(overflow_.size(), std::memory_order_release);
+    // Timestamped so a trace shows WHEN the ring saturated (a burst of
+    // these clustered around a drain stall is the signature to look for);
+    // the arg is the spilled backlog at that moment.
+    COTS_TRACE_INSTANT_ARG("request_queue.overflow", overflow_.size());
     return true;
   }
 

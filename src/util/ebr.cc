@@ -1,6 +1,7 @@
 #include "util/ebr.h"
 
 #include "util/metrics.h"
+#include "util/trace.h"
 
 namespace cots {
 
@@ -64,6 +65,9 @@ void EpochParticipant::RetireRaw(void* ptr, void (*deleter)(void*)) {
   // garbage lives in an older bucket the current epoch no longer pushes to.
   ++backlog_;
   COTS_HISTOGRAM_RECORD("ebr.retire_backlog", backlog_);
+  // Live view of the same quantity: each participant's slot holds its own
+  // outstanding garbage, summed at snapshot into the pooled total.
+  COTS_GAUGE_SET_SUM("ebr.retire_backlog_now", backlog_);
   if (COTS_UNLIKELY(backlog_ >= manager_->forced_advance_backlog_)) {
     // A parked laggard defeats the periodic cadence below: every attempt
     // fails while garbage pools behind the grace period (retire_backlog
@@ -88,6 +92,7 @@ void EpochParticipant::ForcedAdvanceAndFree() {
     return;
   }
   COTS_COUNTER_INC("ebr.forced_advance_attempts");
+  COTS_TRACE_INSTANT_ARG("ebr.forced_advance", backlog_);
   if (manager_->TryAdvance()) {
     // Successes vs attempts distinguishes "laggard refuses advances"
     // (attempts ≫ successes) from "churn outruns the grace period"
@@ -107,6 +112,7 @@ void EpochParticipant::FreeBucketsUpTo(uint64_t safe_epoch) {
       bucket.nodes.clear();
     }
   }
+  COTS_GAUGE_SET_SUM("ebr.retire_backlog_now", backlog_);
 }
 
 EpochManager::EpochManager(int max_participants,
@@ -180,6 +186,7 @@ bool EpochManager::TryAdvance() {
     return false;
   }
   COTS_COUNTER_INC("ebr.epoch_advances");
+  COTS_TRACE_INSTANT_ARG("ebr.advance", e + 1);
   if (e + 1 >= 2) FreeOrphansUpTo(e + 1 - 2);
   return true;
 }

@@ -62,15 +62,15 @@ MetricsRegistry::Shard* MetricsRegistry::LocalShard() {
   return shard;
 }
 
-uint32_t MetricsRegistry::AllocateSlots(std::string_view name,
-                                        bool is_histogram, uint32_t width) {
+uint32_t MetricsRegistry::AllocateSlots(std::string_view name, Kind kind,
+                                        uint32_t width, GaugeFold fold) {
   std::lock_guard<std::mutex> lock(mu_);
   for (const Info& info : infos_) {
     if (info.name == name) {
       // Same-kind re-registration returns the existing metric; a kind
       // clash silently records into the sink (slot 0) rather than
       // corrupting the other metric's slots.
-      return info.is_histogram == is_histogram ? info.slot : 0;
+      return info.kind == kind ? info.slot : 0;
     }
   }
   if (next_slot_ + width > kMaxSlots) {
@@ -79,17 +79,20 @@ uint32_t MetricsRegistry::AllocateSlots(std::string_view name,
   }
   const uint32_t slot = next_slot_;
   next_slot_ += width;
-  infos_.push_back(Info{std::string(name), is_histogram, slot});
+  infos_.push_back(Info{std::string(name), kind, slot, fold});
   return slot;
 }
 
 CounterId MetricsRegistry::RegisterCounter(std::string_view name) {
-  return CounterId{AllocateSlots(name, /*is_histogram=*/false, 1)};
+  return CounterId{AllocateSlots(name, Kind::kCounter, 1)};
 }
 
 HistogramId MetricsRegistry::RegisterHistogram(std::string_view name) {
-  return HistogramId{
-      AllocateSlots(name, /*is_histogram=*/true, kHistogramSlots)};
+  return HistogramId{AllocateSlots(name, Kind::kHistogram, kHistogramSlots)};
+}
+
+GaugeId MetricsRegistry::RegisterGauge(std::string_view name, GaugeFold fold) {
+  return GaugeId{AllocateSlots(name, Kind::kGauge, 1, fold)};
 }
 
 MetricsSnapshot MetricsRegistry::Snapshot() const {
@@ -102,25 +105,46 @@ MetricsSnapshot MetricsRegistry::Snapshot() const {
     }
     return total;
   };
+  auto fold_slot = [this](uint32_t slot, GaugeFold fold) {
+    uint64_t folded = 0;
+    for (const auto& shard : shards_) {
+      const uint64_t v = shard->slots[slot].load(std::memory_order_relaxed);
+      folded = fold == GaugeFold::kSum ? folded + v : std::max(folded, v);
+    }
+    return folded;
+  };
   for (const Info& info : infos_) {
     if (info.slot == 0) continue;  // sink-mapped registration
-    if (!info.is_histogram) {
-      snapshot.counters.emplace_back(info.name, sum_slot(info.slot));
-      continue;
+    switch (info.kind) {
+      case Kind::kCounter:
+        snapshot.counters.emplace_back(info.name, sum_slot(info.slot));
+        break;
+      case Kind::kGauge:
+        snapshot.gauges.push_back(
+            GaugeSnapshot{info.name, fold_slot(info.slot, info.fold),
+                          info.fold});
+        break;
+      case Kind::kHistogram: {
+        HistogramSnapshot h;
+        h.name = info.name;
+        h.count = sum_slot(info.slot);
+        h.sum = sum_slot(info.slot + 1);
+        for (int b = 0; b < kHistogramBuckets; ++b) {
+          h.buckets[static_cast<size_t>(b)] =
+              sum_slot(info.slot + 2 + static_cast<uint32_t>(b));
+        }
+        snapshot.histograms.push_back(std::move(h));
+        break;
+      }
     }
-    HistogramSnapshot h;
-    h.name = info.name;
-    h.count = sum_slot(info.slot);
-    h.sum = sum_slot(info.slot + 1);
-    for (int b = 0; b < kHistogramBuckets; ++b) {
-      h.buckets[static_cast<size_t>(b)] =
-          sum_slot(info.slot + 2 + static_cast<uint32_t>(b));
-    }
-    snapshot.histograms.push_back(std::move(h));
   }
   std::sort(snapshot.counters.begin(), snapshot.counters.end());
   std::sort(snapshot.histograms.begin(), snapshot.histograms.end(),
             [](const HistogramSnapshot& a, const HistogramSnapshot& b) {
+              return a.name < b.name;
+            });
+  std::sort(snapshot.gauges.begin(), snapshot.gauges.end(),
+            [](const GaugeSnapshot& a, const GaugeSnapshot& b) {
               return a.name < b.name;
             });
   return snapshot;
@@ -155,6 +179,39 @@ const HistogramSnapshot* MetricsSnapshot::Histogram(
   return nullptr;
 }
 
+uint64_t MetricsSnapshot::GaugeValue(std::string_view name) const {
+  for (const GaugeSnapshot& g : gauges) {
+    if (g.name == name) return g.value;
+  }
+  return 0;
+}
+
+double HistogramSnapshot::ValueAtQuantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the requested observation, 1-based and clamped into [1, count].
+  const uint64_t rank = std::clamp<uint64_t>(
+      static_cast<uint64_t>(q * static_cast<double>(count) + 0.5), 1, count);
+  uint64_t below = 0;  // observations in buckets before the current one
+  for (int b = 0; b < kHistogramBuckets; ++b) {
+    const uint64_t n = buckets[static_cast<size_t>(b)];
+    if (n == 0) continue;
+    if (below + n >= rank) {
+      if (b == 0) return 0.0;  // bucket 0 holds exactly the value 0
+      // Bucket b holds [lo, 2*lo); place the rank at its in-bucket
+      // midpoint-rule position.
+      const double lo =
+          static_cast<double>(MetricsRegistry::BucketLowerBound(b));
+      const double frac = (static_cast<double>(rank - below) - 0.5) /
+                          static_cast<double>(n);
+      return lo + frac * lo;
+    }
+    below += n;
+  }
+  return static_cast<double>(
+      MetricsRegistry::BucketLowerBound(kHistogramBuckets - 1));
+}
+
 void MetricsSnapshot::AppendJson(JsonWriter* w) const {
   w->BeginObject();
   w->Key("counters").BeginObject();
@@ -179,6 +236,11 @@ void MetricsSnapshot::AppendJson(JsonWriter* w) const {
     }
     w->EndArray();
     w->EndObject();
+  }
+  w->EndObject();
+  w->Key("gauges").BeginObject();
+  for (const GaugeSnapshot& g : gauges) {
+    w->Key(g.name).Uint(g.value);
   }
   w->EndObject();
   w->EndObject();

@@ -66,6 +66,15 @@ struct CounterId {
 struct HistogramId {
   uint32_t slot = 0;
 };
+struct GaugeId {
+  uint32_t slot = 0;
+};
+
+/// How a gauge's per-thread last-value slots combine at snapshot time.
+/// kMax reports the worst thread (watermarks, staleness); kSum reports the
+/// fleet-wide total of per-thread quantities (e.g. EBR retire backlog,
+/// where each participant's slot holds its own outstanding garbage).
+enum class GaugeFold : uint8_t { kMax, kSum };
 
 struct HistogramSnapshot {
   std::string name;
@@ -77,6 +86,33 @@ struct HistogramSnapshot {
     return count == 0 ? 0.0
                       : static_cast<double>(sum) / static_cast<double>(count);
   }
+
+  /// Record one value into this standalone snapshot (benches accumulate
+  /// local histograms this way — same buckets as the registry's).
+  void Add(uint64_t value) {
+    count += 1;
+    sum += value;
+    buckets[static_cast<size_t>(std::bit_width(value))] += 1;
+  }
+
+  /// Fold another snapshot in bucket-wise.
+  void Merge(const HistogramSnapshot& other) {
+    count += other.count;
+    sum += other.sum;
+    for (size_t b = 0; b < buckets.size(); ++b) buckets[b] += other.buckets[b];
+  }
+
+  /// The value at quantile q in [0, 1], linearly interpolated within the
+  /// log2 bucket holding that rank (midpoint rule), so the error is at
+  /// most the bucket width — a factor of 2 at worst. 0 when empty. This
+  /// is the one percentile implementation every bench p50/p99 row shares.
+  double ValueAtQuantile(double q) const;
+};
+
+struct GaugeSnapshot {
+  std::string name;
+  uint64_t value = 0;
+  GaugeFold fold = GaugeFold::kMax;
 };
 
 /// Aggregated view over all thread shards at one instant.
@@ -84,15 +120,18 @@ struct MetricsSnapshot {
   /// Sorted by name.
   std::vector<std::pair<std::string, uint64_t>> counters;
   std::vector<HistogramSnapshot> histograms;
+  std::vector<GaugeSnapshot> gauges;
 
   /// 0 when the counter was never registered.
   uint64_t CounterValue(std::string_view name) const;
   /// nullptr when the histogram was never registered.
   const HistogramSnapshot* Histogram(std::string_view name) const;
+  /// The folded gauge value; 0 when never registered.
+  uint64_t GaugeValue(std::string_view name) const;
 
-  /// Appends {"counters": {...}, "histograms": {...}} as the current value
-  /// position of `w` (callers emit the surrounding key). Histogram buckets
-  /// serialize sparsely as [[lower_bound, count], ...].
+  /// Appends {"counters": {...}, "histograms": {...}, "gauges": {...}} as
+  /// the current value position of `w` (callers emit the surrounding key).
+  /// Histogram buckets serialize sparsely as [[lower_bound, count], ...].
   void AppendJson(JsonWriter* w) const;
   /// The AppendJson document as a standalone string.
   std::string ToJson() const;
@@ -125,6 +164,17 @@ class MetricsRegistry {
       slots[slot].store(slots[slot].load(std::memory_order_relaxed) + delta,
                         std::memory_order_relaxed);
     }
+
+    // Gauge writes: last-value overwrite and monotone watermark raise.
+    // Same single-writer discipline as Bump — no RMW needed.
+    void SetSlot(uint32_t slot, uint64_t value) {
+      slots[slot].store(value, std::memory_order_relaxed);
+    }
+    void RaiseSlot(uint32_t slot, uint64_t value) {
+      if (value > slots[slot].load(std::memory_order_relaxed)) {
+        slots[slot].store(value, std::memory_order_relaxed);
+      }
+    }
   };
 
   /// Fast path for the recording macros: the calling thread's shard of
@@ -148,13 +198,30 @@ class MetricsRegistry {
     shard->Bump(id.slot + 2 + static_cast<uint32_t>(BucketIndex(value)), 1);
   }
 
+  static void GlobalSet(GaugeId id, uint64_t value) {
+    GlobalShard()->SetSlot(id.slot, value);
+  }
+
+  static void GlobalRaise(GaugeId id, uint64_t value) {
+    GlobalShard()->RaiseSlot(id.slot, value);
+  }
+
   /// Idempotent per name: re-registering returns the same id. Slots are
-  /// finite (kMaxSlots); on exhaustion (or a counter/histogram name clash)
-  /// the returned id records into a sink slot that never reports.
+  /// finite (kMaxSlots); on exhaustion (or a cross-kind name clash) the
+  /// returned id records into a sink slot that never reports.
   CounterId RegisterCounter(std::string_view name);
   HistogramId RegisterHistogram(std::string_view name);
+  /// `fold` is fixed by the first registration of the name; it defines how
+  /// per-thread last values combine at Snapshot() (see GaugeFold).
+  GaugeId RegisterGauge(std::string_view name, GaugeFold fold = GaugeFold::kMax);
 
   void Add(CounterId id, uint64_t delta) { LocalShard()->Bump(id.slot, delta); }
+
+  void Set(GaugeId id, uint64_t value) { LocalShard()->SetSlot(id.slot, value); }
+
+  void Raise(GaugeId id, uint64_t value) {
+    LocalShard()->RaiseSlot(id.slot, value);
+  }
 
   void Record(HistogramId id, uint64_t value) {
     Shard* shard = LocalShard();
@@ -186,16 +253,19 @@ class MetricsRegistry {
  private:
   friend struct MetricsTlsCache;
 
+  enum class Kind : uint8_t { kCounter, kHistogram, kGauge };
+
   struct Info {
     std::string name;
-    bool is_histogram = false;
+    Kind kind = Kind::kCounter;
     uint32_t slot = 0;
+    GaugeFold fold = GaugeFold::kMax;  // meaningful for kGauge only
   };
 
   // Returns this thread's shard, creating and registering it on first use.
   Shard* LocalShard();
-  uint32_t AllocateSlots(std::string_view name, bool is_histogram,
-                         uint32_t width);
+  uint32_t AllocateSlots(std::string_view name, Kind kind, uint32_t width,
+                         GaugeFold fold = GaugeFold::kMax);
 
   const uint64_t registry_id_;  // never reused, see metrics.cc
 
@@ -226,6 +296,34 @@ class MetricsRegistry {
                                           (value));                \
   } while (false)
 
+// Gauges: this thread's slot takes the last value written (COTS_GAUGE_SET)
+// or the max ever written (COTS_GAUGE_RAISE — a watermark); the fold named
+// in the macro combines the slots at snapshot time.
+
+#define COTS_GAUGE_SET(name, value)                              \
+  do {                                                           \
+    static const ::cots::GaugeId cots_metric_id_ =               \
+        ::cots::MetricsRegistry::Global().RegisterGauge(         \
+            name, ::cots::GaugeFold::kMax);                      \
+    ::cots::MetricsRegistry::GlobalSet(cots_metric_id_, (value)); \
+  } while (false)
+
+#define COTS_GAUGE_SET_SUM(name, value)                          \
+  do {                                                           \
+    static const ::cots::GaugeId cots_metric_id_ =               \
+        ::cots::MetricsRegistry::Global().RegisterGauge(         \
+            name, ::cots::GaugeFold::kSum);                      \
+    ::cots::MetricsRegistry::GlobalSet(cots_metric_id_, (value)); \
+  } while (false)
+
+#define COTS_GAUGE_RAISE(name, value)                               \
+  do {                                                              \
+    static const ::cots::GaugeId cots_metric_id_ =                  \
+        ::cots::MetricsRegistry::Global().RegisterGauge(            \
+            name, ::cots::GaugeFold::kMax);                         \
+    ::cots::MetricsRegistry::GlobalRaise(cots_metric_id_, (value)); \
+  } while (false)
+
 #else  // COTS_METRICS_ENABLED
 
 #define COTS_COUNTER_ADD(name, delta) \
@@ -236,6 +334,21 @@ class MetricsRegistry {
 #define COTS_HISTOGRAM_RECORD(name, value) \
   do {                                     \
     (void)sizeof(value);                   \
+  } while (false)
+
+#define COTS_GAUGE_SET(name, value) \
+  do {                              \
+    (void)sizeof(value);            \
+  } while (false)
+
+#define COTS_GAUGE_SET_SUM(name, value) \
+  do {                                  \
+    (void)sizeof(value);                \
+  } while (false)
+
+#define COTS_GAUGE_RAISE(name, value) \
+  do {                                \
+    (void)sizeof(value);              \
   } while (false)
 
 #endif  // COTS_METRICS_ENABLED

@@ -1,0 +1,240 @@
+#include "util/trace.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "util/json_writer.h"
+
+namespace cots {
+
+namespace {
+
+/// Same never-reuse scheme as the metrics registry: a thread-local cache
+/// entry for a destroyed registry can never be mistaken for a live one.
+std::atomic<uint64_t> next_trace_registry_id{1};
+
+}  // namespace
+
+#if COTS_TRACE_ENABLED
+
+/// Per-thread cache of (registry id -> ring); one entry in practice.
+struct TraceTlsCache {
+  struct Entry {
+    uint64_t registry_id;
+    TraceRing* ring;
+  };
+  std::vector<Entry> entries;
+};
+
+namespace {
+
+TraceTlsCache& TlsCache() {
+  thread_local TraceTlsCache cache;
+  return cache;
+}
+
+size_t RoundUpPow2(size_t n) {
+  return std::bit_ceil(std::max<size_t>(n, 8));
+}
+
+}  // namespace
+
+TraceRing::TraceRing(size_t capacity_events, uint32_t tid)
+    : capacity_(RoundUpPow2(capacity_events)),
+      mask_(capacity_ - 1),
+      tid_(tid),
+      slots_(new Slot[capacity_]) {}
+
+void TraceRing::Record(const char* name, uint64_t start_ticks,
+                       uint64_t dur_kind, uint64_t arg) {
+  const uint64_t index = head_.load(std::memory_order_relaxed);
+  Slot& slot = slots_[index & mask_];
+  slot.name.store(reinterpret_cast<uintptr_t>(name),
+                  std::memory_order_relaxed);
+  slot.start_ticks.store(start_ticks, std::memory_order_relaxed);
+  slot.dur_kind.store(dur_kind, std::memory_order_relaxed);
+  slot.arg.store(arg, std::memory_order_relaxed);
+  // The release bump is what publishes the slot to drains: a drain that
+  // acquire-reads head >= index + 1 sees every field store above.
+  head_.store(index + 1, std::memory_order_release);
+}
+
+void TraceRing::CollectInto(std::vector<RawEvent>* out) const {
+  const uint64_t head = head_.load(std::memory_order_acquire);
+  const uint64_t lo = head > capacity_ ? head - capacity_ : 0;
+  const size_t first = out->size();
+  for (uint64_t i = lo; i < head; ++i) {
+    const Slot& slot = slots_[i & mask_];
+    RawEvent e;
+    e.index = i;
+    e.name = slot.name.load(std::memory_order_relaxed);
+    e.start_ticks = slot.start_ticks.load(std::memory_order_relaxed);
+    e.dur_kind = slot.dur_kind.load(std::memory_order_relaxed);
+    e.arg = slot.arg.load(std::memory_order_relaxed);
+    out->push_back(e);
+  }
+  // Tear check. The single writer only ever mutates the slot of the event
+  // it is currently recording — event index head', whose slot is shared
+  // with old event head' - capacity — and bumps head only after the slot
+  // write completes. head is monotone, so every mutation that overlapped
+  // the copy above hit an old index <= head_after - capacity. Dropping
+  // that prefix leaves only events whose slots were quiescent for the
+  // whole copy.
+  const uint64_t head_after = head_.load(std::memory_order_acquire);
+  const uint64_t min_keep =
+      head_after >= capacity_ ? head_after - capacity_ + 1 : 0;
+  size_t keep_from = first;
+  while (keep_from < out->size() && (*out)[keep_from].index < min_keep) {
+    ++keep_from;
+  }
+  if (keep_from != first) {
+    out->erase(out->begin() + static_cast<ptrdiff_t>(first),
+               out->begin() + static_cast<ptrdiff_t>(keep_from));
+  }
+}
+
+TraceRegistry::TraceRegistry(size_t ring_events)
+    : registry_id_(
+          next_trace_registry_id.fetch_add(1, std::memory_order_relaxed)),
+      ring_events_(RoundUpPow2(ring_events)),
+      ticks_origin_(TraceClock::Now()),
+      nanos_origin_(NowNanos()) {}
+
+TraceRegistry::~TraceRegistry() = default;
+
+TraceRegistry& TraceRegistry::Global() {
+  static TraceRegistry* global = new TraceRegistry();  // never destroyed
+  return *global;
+}
+
+TraceRing* TraceRegistry::LocalRing() {
+  TraceTlsCache& cache = TlsCache();
+  for (const TraceTlsCache::Entry& e : cache.entries) {
+    if (e.registry_id == registry_id_) return e.ring;
+  }
+  std::unique_ptr<TraceRing> owned;
+  TraceRing* ring = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    owned = std::make_unique<TraceRing>(
+        ring_events_, static_cast<uint32_t>(rings_.size() + 1));
+    ring = owned.get();
+    rings_.push_back(std::move(owned));
+  }
+  cache.entries.push_back(TraceTlsCache::Entry{registry_id_, ring});
+  return ring;
+}
+
+std::vector<TraceEventView> TraceRegistry::Collect() const {
+  // Second calibration anchor: ticks-to-nanos scale over the whole
+  // registry lifetime so far. Falls back to 1.0 (ticks already are
+  // nanos) when the tick source is the steady clock or no time passed.
+  const uint64_t ticks_now = TraceClock::Now();
+  const uint64_t nanos_now = NowNanos();
+  const double ns_per_tick =
+      ticks_now > ticks_origin_ && nanos_now > nanos_origin_
+          ? static_cast<double>(nanos_now - nanos_origin_) /
+                static_cast<double>(ticks_now - ticks_origin_)
+          : 1.0;
+  auto to_ns = [&](uint64_t ticks) -> uint64_t {
+    if (ticks <= ticks_origin_) return 0;  // pre-registry span starts clamp
+    return static_cast<uint64_t>(
+        static_cast<double>(ticks - ticks_origin_) * ns_per_tick);
+  };
+
+  std::vector<TraceEventView> events;
+  std::vector<TraceRing::RawEvent> raw;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& ring : rings_) {
+    raw.clear();
+    ring->CollectInto(&raw);
+    for (const TraceRing::RawEvent& e : raw) {
+      TraceEventView view;
+      view.name = reinterpret_cast<const char*>(
+          static_cast<uintptr_t>(e.name));
+      view.kind = (e.dur_kind & 1) != 0 ? TraceEventKind::kSpan
+                                        : TraceEventKind::kInstant;
+      view.tid = ring->tid();
+      view.ts_ns = to_ns(e.start_ticks);
+      view.dur_ns = static_cast<uint64_t>(
+          static_cast<double>(e.dur_kind >> 1) * ns_per_tick);
+      view.arg = e.arg;
+      if (view.name != nullptr) events.push_back(view);
+    }
+  }
+  return events;
+}
+
+#else  // COTS_TRACE_ENABLED
+
+TraceRegistry::TraceRegistry(size_t ring_events)
+    : registry_id_(
+          next_trace_registry_id.fetch_add(1, std::memory_order_relaxed)),
+      ring_events_(ring_events),
+      ticks_origin_(0),
+      nanos_origin_(0) {}
+
+TraceRegistry::~TraceRegistry() = default;
+
+TraceRegistry& TraceRegistry::Global() {
+  static TraceRegistry* global = new TraceRegistry();  // never destroyed
+  return *global;
+}
+
+std::vector<TraceEventView> TraceRegistry::Collect() const { return {}; }
+
+#endif  // COTS_TRACE_ENABLED
+
+void TraceRegistry::AppendJson(JsonWriter* w) const {
+  w->BeginObject();
+  w->Key("traceEvents").BeginArray();
+  for (const TraceEventView& e : Collect()) {
+    w->BeginObject();
+    w->Key("name").String(e.name);
+    w->Key("cat").String("cots");
+    if (e.kind == TraceEventKind::kSpan) {
+      w->Key("ph").String("X");
+    } else {
+      w->Key("ph").String("i");
+      w->Key("s").String("t");  // instant scope: thread
+    }
+    // Chrome trace-event timestamps are microseconds (fractional ok).
+    w->Key("ts").Double(static_cast<double>(e.ts_ns) / 1000.0);
+    if (e.kind == TraceEventKind::kSpan) {
+      w->Key("dur").Double(static_cast<double>(e.dur_ns) / 1000.0);
+    }
+    w->Key("pid").Uint(1);
+    w->Key("tid").Uint(e.tid);
+    if (e.arg != kTraceNoArg) {
+      w->Key("args").BeginObject().Key("v").Uint(e.arg).EndObject();
+    }
+    w->EndObject();
+  }
+  w->EndArray();
+  w->Key("displayTimeUnit").String("ns");
+  w->EndObject();
+}
+
+std::string TraceRegistry::DrainJson() const {
+  JsonWriter w;
+  AppendJson(&w);
+  return w.str();
+}
+
+void TraceRegistry::Reset() {
+#if COTS_TRACE_ENABLED
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& ring : rings_) ring->Clear();
+#endif
+}
+
+size_t TraceRegistry::num_rings() const {
+#if COTS_TRACE_ENABLED
+  std::lock_guard<std::mutex> lock(mu_);
+  return rings_.size();
+#else
+  return 0;
+#endif
+}
+
+}  // namespace cots

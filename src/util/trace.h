@@ -1,0 +1,290 @@
+// Copyright (c) the CoTS reproduction authors.
+//
+// Flight-recorder tracing: per-thread SPSC rings of fixed-size trace
+// events (scoped spans + instant events), drained on demand into Chrome
+// trace-event / Perfetto-compatible JSON. Complements util/metrics.h: a
+// counter tells you HOW OFTEN something happened over the run; the flight
+// recorder tells you WHEN — the last ~ring-capacity events per thread,
+// timestamped, always on.
+//
+// Design constraints, in order:
+//
+//   1. Recording must be cheap enough to leave on in production builds.
+//      Each ring has exactly one writer (its thread); a record is one
+//      timestamp read (raw TSC where the architecture has one) plus four
+//      relaxed stores into a 32-byte slot and a release bump of the ring
+//      head. No locks, no allocation, no formatting on the hot path —
+//      serialization happens at drain time.
+//   2. The whole layer compiles away. Building with -DCOTS_TRACE=OFF
+//      defines COTS_TRACE_ENABLED=0: the macros expand to nothing, the
+//      TraceRing type and its out-of-line Record symbol are not compiled
+//      at all (CI greps the archive to prove it), and TraceRegistry stays
+//      linkable as a stub so tooling code needs no #ifdefs.
+//   3. Draining is wait-free for writers and safe from any thread. The
+//      drain copies the window [head - capacity, head) and then re-reads
+//      head: slots the writer may have started overwriting during the
+//      copy (those with index <= head' - capacity — the single writer
+//      mutates only the slot of the event it is currently recording) are
+//      discarded, so a kept event is never torn. The cost is that a drain
+//      returns at most capacity - 1 events per ring.
+//
+// Usage at a call site (names must be string literals — the ring stores
+// the pointer, not a copy):
+//
+//   COTS_TRACE_SPAN(span, "engine.offer_batch");   // RAII: closes at
+//   span.SetArg(count);                            // scope exit
+//   if (refused) span.Cancel();                    // record nothing
+//   COTS_TRACE_INSTANT("ebr.advance");
+//   COTS_TRACE_INSTANT_ARG("request_queue.overflow", spilled);
+//
+// Timestamps are raw ticks (rdtsc / cntvct_el0, falling back to the
+// steady clock) converted to nanoseconds at drain time against a
+// (ticks, nanos) anchor pair captured at registry construction — the hot
+// path never pays a syscall-backed clock read on architectures with a
+// usable cycle counter.
+
+#ifndef COTS_UTIL_TRACE_H_
+#define COTS_UTIL_TRACE_H_
+
+#ifndef COTS_TRACE_ENABLED
+#define COTS_TRACE_ENABLED 1
+#endif
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/macros.h"
+#include "util/stopwatch.h"
+
+namespace cots {
+
+class JsonWriter;
+
+enum class TraceEventKind : uint8_t { kInstant = 0, kSpan = 1 };
+
+/// Sentinel for "no payload"; events carrying it omit "args" in the JSON.
+inline constexpr uint64_t kTraceNoArg = ~uint64_t{0};
+
+/// One decoded event, timestamps already converted to nanoseconds since
+/// the registry's time origin. `name` points at the call site's literal.
+struct TraceEventView {
+  const char* name = nullptr;
+  TraceEventKind kind = TraceEventKind::kInstant;
+  uint32_t tid = 0;
+  uint64_t ts_ns = 0;
+  uint64_t dur_ns = 0;  // 0 for instants
+  uint64_t arg = kTraceNoArg;
+};
+
+/// Raw timestamp source. Ticks are monotone per core and only become
+/// meaningful after the registry's drain-time calibration.
+struct TraceClock {
+  static uint64_t Now() {
+#if defined(__x86_64__) || defined(_M_X64)
+    return __builtin_ia32_rdtsc();
+#elif defined(__aarch64__)
+    uint64_t ticks;
+    asm volatile("mrs %0, cntvct_el0" : "=r"(ticks));
+    return ticks;
+#else
+    return NowNanos();
+#endif
+  }
+};
+
+#if COTS_TRACE_ENABLED
+
+/// One thread's event ring. Single writer (the owning thread); any thread
+/// may CollectInto concurrently — see the drain protocol in trace.cc.
+class COTS_CACHE_ALIGNED TraceRing {
+ public:
+  /// `capacity_events` is rounded up to a power of two (min 8).
+  TraceRing(size_t capacity_events, uint32_t tid);
+
+  COTS_DISALLOW_COPY_AND_ASSIGN(TraceRing);
+
+  void RecordInstant(const char* name, uint64_t arg = kTraceNoArg) {
+    Record(name, TraceClock::Now(), 0, arg);
+  }
+
+  void RecordSpan(const char* name, uint64_t start_ticks, uint64_t end_ticks,
+                  uint64_t arg = kTraceNoArg) {
+    const uint64_t dur = end_ticks > start_ticks ? end_ticks - start_ticks : 0;
+    Record(name, start_ticks, (dur << 1) | 1, arg);
+  }
+
+  uint32_t tid() const { return tid_; }
+  size_t capacity() const { return capacity_; }
+
+  /// Event as copied out of the ring, timestamps still in raw ticks.
+  /// `dur_kind` packs (duration_ticks << 1) | kind.
+  struct RawEvent {
+    uint64_t index = 0;
+    uint64_t name = 0;
+    uint64_t start_ticks = 0;
+    uint64_t dur_kind = 0;
+    uint64_t arg = 0;
+  };
+
+  /// Appends every untorn event currently in the ring (oldest first).
+  void CollectInto(std::vector<RawEvent>* out) const;
+
+  /// Forgets everything recorded so far. Owner-quiescent callers only
+  /// (tests); a racing writer merely keeps its events.
+  void Clear() { head_.store(0, std::memory_order_release); }
+
+  // Out-of-line on purpose: the notrace CI job asserts this symbol is
+  // absent from the archive when tracing is compiled out.
+  void Record(const char* name, uint64_t start_ticks, uint64_t dur_kind,
+              uint64_t arg);
+
+ private:
+  // All-atomic so a drain racing a lapping writer is tear-checked, not UB.
+  struct Slot {
+    std::atomic<uint64_t> name{0};
+    std::atomic<uint64_t> start_ticks{0};
+    std::atomic<uint64_t> dur_kind{0};
+    std::atomic<uint64_t> arg{0};
+  };
+
+  const size_t capacity_;  // power of two
+  const uint64_t mask_;
+  const uint32_t tid_;
+  std::atomic<uint64_t> head_{0};  // next index to write; monotone
+  std::unique_ptr<Slot[]> slots_;
+};
+
+#endif  // COTS_TRACE_ENABLED
+
+/// Owns the per-thread rings and the drain. With tracing compiled out
+/// this is a stub: Collect() is empty and DrainJson() returns a valid
+/// empty trace document, so callers (stats endpoint, --trace-out) need
+/// no #ifdefs.
+class TraceRegistry {
+ public:
+  /// 4096 events x 32 bytes = 128 KiB per thread — the overhead budget
+  /// DESIGN.md §12 documents.
+  static constexpr size_t kDefaultRingEvents = 4096;
+
+  explicit TraceRegistry(size_t ring_events = kDefaultRingEvents);
+  ~TraceRegistry();
+
+  COTS_DISALLOW_COPY_AND_ASSIGN(TraceRegistry);
+
+  /// The process-wide registry every COTS_TRACE_* macro records into.
+  static TraceRegistry& Global();
+
+  /// Snapshot of every ring's surviving events, calibrated to
+  /// nanoseconds, ordered by (tid, ts). Non-destructive.
+  std::vector<TraceEventView> Collect() const;
+
+  /// Appends the Chrome trace-event document ({"traceEvents": [...]})
+  /// at the current value position of `w`.
+  void AppendJson(JsonWriter* w) const;
+  /// The AppendJson document as a standalone string — what --trace-out
+  /// files and the stats endpoint's `trace` command serve; load it in
+  /// Perfetto (ui.perfetto.dev) or chrome://tracing.
+  std::string DrainJson() const;
+
+  /// Clears every ring. Tests only (writers must be quiescent for the
+  /// result to be exact).
+  void Reset();
+
+  /// Rings ever created (rings outlive their threads, like metric shards).
+  size_t num_rings() const;
+  size_t ring_events() const { return ring_events_; }
+
+#if COTS_TRACE_ENABLED
+  /// This thread's ring of this registry, created on first use.
+  TraceRing* LocalRing();
+
+  /// Fast path for the macros: the calling thread's ring of Global(),
+  /// cached in a thread_local (safe forever — Global() never dies).
+  static TraceRing* GlobalRing() {
+    static thread_local TraceRing* ring = nullptr;
+    if (ring == nullptr) ring = Global().LocalRing();
+    return ring;
+  }
+#endif  // COTS_TRACE_ENABLED
+
+ private:
+  friend struct TraceTlsCache;
+
+  const uint64_t registry_id_;  // never reused, same scheme as metrics
+  const size_t ring_events_;
+  // Calibration anchor: ticks and nanos read back to back at
+  // construction; Collect() reads a second pair and interpolates.
+  uint64_t ticks_origin_ = 0;
+  uint64_t nanos_origin_ = 0;
+
+  mutable std::mutex mu_;
+#if COTS_TRACE_ENABLED
+  std::vector<std::unique_ptr<TraceRing>> rings_;  // guarded by mu_
+#endif
+};
+
+/// RAII span. Declared through COTS_TRACE_SPAN so call sites compile
+/// identically with tracing on or off.
+#if COTS_TRACE_ENABLED
+
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char* name)
+      : name_(name), start_(TraceClock::Now()) {}
+  ~TraceSpan() {
+    if (name_ != nullptr) {
+      TraceRegistry::GlobalRing()->RecordSpan(name_, start_,
+                                              TraceClock::Now(), arg_);
+    }
+  }
+  COTS_DISALLOW_COPY_AND_ASSIGN(TraceSpan);
+
+  void SetArg(uint64_t value) { arg_ = value; }
+  /// Record nothing at scope exit (e.g. the guarded work never ran).
+  void Cancel() { name_ = nullptr; }
+
+ private:
+  const char* name_;
+  uint64_t start_;
+  uint64_t arg_ = kTraceNoArg;
+};
+
+#define COTS_TRACE_SPAN(var, name) ::cots::TraceSpan var(name)
+
+#define COTS_TRACE_INSTANT(name) \
+  ::cots::TraceRegistry::GlobalRing()->RecordInstant(name)
+
+#define COTS_TRACE_INSTANT_ARG(name, arg) \
+  ::cots::TraceRegistry::GlobalRing()->RecordInstant(name, (arg))
+
+#else  // COTS_TRACE_ENABLED
+
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char*) {}
+  ~TraceSpan() {}  // non-trivial so the declaring macro never warns unused
+  COTS_DISALLOW_COPY_AND_ASSIGN(TraceSpan);
+  void SetArg(uint64_t) {}
+  void Cancel() {}
+};
+
+#define COTS_TRACE_SPAN(var, name) ::cots::TraceSpan var(name)
+
+#define COTS_TRACE_INSTANT(name) \
+  do {                           \
+  } while (false)
+
+#define COTS_TRACE_INSTANT_ARG(name, arg) \
+  do {                                    \
+    (void)sizeof(arg);                    \
+  } while (false)
+
+#endif  // COTS_TRACE_ENABLED
+
+}  // namespace cots
+
+#endif  // COTS_UTIL_TRACE_H_

@@ -19,6 +19,7 @@
 
 #include "util/metrics.h"
 #include "util/thread_utils.h"
+#include "util/trace.h"
 
 namespace cots {
 namespace {
@@ -202,6 +203,7 @@ TEST(BenchJsonTest, ReportParsesWithDocumentedKeys) {
 #if COTS_METRICS_ENABLED
   COTS_COUNTER_INC("test.bench_json_counter");
   COTS_HISTOGRAM_RECORD("test.bench_json_hist", uint64_t{33});
+  COTS_GAUGE_SET("test.bench_json_gauge", uint64_t{12});
 #endif
   const std::string doc = report.ToJson(MakeConfig());
 
@@ -232,6 +234,14 @@ TEST(BenchJsonTest, ReportParsesWithDocumentedKeys) {
   EXPECT_GE(machine->Get("hardware_threads")->number, 1.0);
   EXPECT_EQ(machine->Get("topology")->kind, JsonValue::Kind::kString);
   EXPECT_EQ(machine->Get("metrics_enabled")->kind, JsonValue::Kind::kBool);
+  const JsonValue* trace_enabled = machine->Get("trace_enabled");
+  ASSERT_NE(trace_enabled, nullptr);
+  EXPECT_EQ(trace_enabled->kind, JsonValue::Kind::kBool);
+#if COTS_TRACE_ENABLED
+  EXPECT_TRUE(trace_enabled->boolean);
+#else
+  EXPECT_FALSE(trace_enabled->boolean);
+#endif
 
   const JsonValue* timings = root.Get("timings");
   ASSERT_NE(timings, nullptr);
@@ -247,10 +257,16 @@ TEST(BenchJsonTest, ReportParsesWithDocumentedKeys) {
   ASSERT_EQ(metrics->kind, JsonValue::Kind::kObject);
   const JsonValue* counters = metrics->Get("counters");
   const JsonValue* histograms = metrics->Get("histograms");
+  const JsonValue* gauges = metrics->Get("gauges");
   ASSERT_NE(counters, nullptr);
   ASSERT_NE(histograms, nullptr);
+  ASSERT_NE(gauges, nullptr);
+  ASSERT_EQ(gauges->kind, JsonValue::Kind::kObject);
 #if COTS_METRICS_ENABLED
   EXPECT_NE(counters->Get("test.bench_json_counter"), nullptr);
+  const JsonValue* gauge = gauges->Get("test.bench_json_gauge");
+  ASSERT_NE(gauge, nullptr);
+  EXPECT_EQ(gauge->number, 12.0);
   const JsonValue* hist = histograms->Get("test.bench_json_hist");
   ASSERT_NE(hist, nullptr);
   EXPECT_GE(hist->Get("count")->number, 1.0);

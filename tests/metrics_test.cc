@@ -166,5 +166,148 @@ TEST(MetricsSnapshotTest, ToJsonContainsBothSections) {
   EXPECT_NE(json.find("\"test.json_hist\""), std::string::npos);
 }
 
+TEST(MetricsGaugeTest, SetOverwritesAndSnapshotReports) {
+  MetricsRegistry registry;
+  GaugeId id = registry.RegisterGauge("test.gauge");
+  registry.Set(id, 100);
+  registry.Set(id, 7);  // last value wins, not the max
+  MetricsSnapshot snap = registry.Snapshot();
+  EXPECT_EQ(snap.GaugeValue("test.gauge"), 7u);
+  EXPECT_EQ(snap.GaugeValue("never.registered"), 0u);
+}
+
+TEST(MetricsGaugeTest, RaiseIsAWatermark) {
+  MetricsRegistry registry;
+  GaugeId id = registry.RegisterGauge("test.watermark");
+  registry.Raise(id, 5);
+  registry.Raise(id, 50);
+  registry.Raise(id, 12);  // below the watermark: no effect
+  EXPECT_EQ(registry.Snapshot().GaugeValue("test.watermark"), 50u);
+}
+
+TEST(MetricsGaugeTest, MaxFoldReportsWorstThread) {
+  MetricsRegistry registry;
+  GaugeId id = registry.RegisterGauge("test.fold_max", GaugeFold::kMax);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back(
+        [&, t] { registry.Set(id, static_cast<uint64_t>(10 * (t + 1))); });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(registry.Snapshot().GaugeValue("test.fold_max"), 40u);
+}
+
+TEST(MetricsGaugeTest, SumFoldTotalsAcrossThreads) {
+  MetricsRegistry registry;
+  GaugeId id = registry.RegisterGauge("test.fold_sum", GaugeFold::kSum);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back(
+        [&, t] { registry.Set(id, static_cast<uint64_t>(t + 1)); });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(registry.Snapshot().GaugeValue("test.fold_sum"),
+            1u + 2u + 3u + 4u);
+}
+
+TEST(MetricsGaugeTest, FoldIsFixedByFirstRegistration) {
+  MetricsRegistry registry;
+  GaugeId a = registry.RegisterGauge("test.fold_first", GaugeFold::kSum);
+  GaugeId b = registry.RegisterGauge("test.fold_first", GaugeFold::kMax);
+  EXPECT_EQ(a.slot, b.slot);
+  registry.Set(a, 3);
+  MetricsSnapshot snap = registry.Snapshot();
+  ASSERT_EQ(snap.gauges.size(), 1u);
+  EXPECT_EQ(snap.gauges[0].fold, GaugeFold::kSum);
+}
+
+TEST(MetricsGaugeTest, GaugesAppearInJson) {
+  MetricsRegistry registry;
+  registry.Set(registry.RegisterGauge("test.json_gauge"), 11);
+  const std::string json = registry.Snapshot().ToJson();
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"test.json_gauge\":11"), std::string::npos);
+}
+
+#if COTS_METRICS_ENABLED
+TEST(MetricsGaugeTest, GaugeMacrosRecordIntoGlobalRegistry) {
+  COTS_GAUGE_SET("test.macro_gauge", uint64_t{21});
+  COTS_GAUGE_RAISE("test.macro_gauge_hwm", uint64_t{9});
+  COTS_GAUGE_RAISE("test.macro_gauge_hwm", uint64_t{3});
+  MetricsSnapshot snap = MetricsRegistry::Global().Snapshot();
+  EXPECT_EQ(snap.GaugeValue("test.macro_gauge"), 21u);
+  EXPECT_EQ(snap.GaugeValue("test.macro_gauge_hwm"), 9u);
+}
+#endif  // COTS_METRICS_ENABLED
+
+TEST(HistogramSnapshotTest, AddAndMergeMatchRegistryBuckets) {
+  HistogramSnapshot a;
+  a.Add(0);
+  a.Add(1);
+  a.Add(1024);
+  HistogramSnapshot b;
+  b.Add(3);
+  a.Merge(b);
+  EXPECT_EQ(a.count, 4u);
+  EXPECT_EQ(a.sum, 0u + 1 + 1024 + 3);
+  EXPECT_EQ(a.buckets[0], 1u);   // value 0
+  EXPECT_EQ(a.buckets[1], 1u);   // value 1
+  EXPECT_EQ(a.buckets[2], 1u);   // value 3
+  EXPECT_EQ(a.buckets[11], 1u);  // value 1024
+}
+
+TEST(HistogramSnapshotTest, ValueAtQuantileOnEmptyIsZero) {
+  HistogramSnapshot h;
+  EXPECT_DOUBLE_EQ(h.ValueAtQuantile(0.5), 0.0);
+}
+
+TEST(HistogramSnapshotTest, ValueAtQuantileSingleBucketInterpolates) {
+  // 100 values in bucket [64, 128): every quantile lands inside it, so
+  // the interpolated answer must too.
+  HistogramSnapshot h;
+  for (int i = 0; i < 100; ++i) h.Add(64);
+  for (double q : {0.0, 0.25, 0.5, 0.99, 1.0}) {
+    const double v = h.ValueAtQuantile(q);
+    EXPECT_GE(v, 64.0) << "q=" << q;
+    EXPECT_LT(v, 128.0) << "q=" << q;
+  }
+  // The median of a uniform fill sits near the bucket midpoint.
+  EXPECT_NEAR(h.ValueAtQuantile(0.5), 96.0, 32.0);
+}
+
+TEST(HistogramSnapshotTest, ValueAtQuantileSelectsTheRankedBucket) {
+  // 90 small values and 10 large ones: p50 must report the small bucket,
+  // p99 the large one — the shape every bench p50/p99 row relies on.
+  HistogramSnapshot h;
+  for (int i = 0; i < 90; ++i) h.Add(100);     // bucket [64, 128)
+  for (int i = 0; i < 10; ++i) h.Add(100000);  // bucket [65536, 131072)
+  const double p50 = h.ValueAtQuantile(0.50);
+  const double p99 = h.ValueAtQuantile(0.99);
+  EXPECT_GE(p50, 64.0);
+  EXPECT_LT(p50, 128.0);
+  EXPECT_GE(p99, 65536.0);
+  EXPECT_LT(p99, 131072.0);
+  EXPECT_LT(p50, p99);
+}
+
+TEST(HistogramSnapshotTest, ValueAtQuantileZeroBucketReportsZero) {
+  HistogramSnapshot h;
+  for (int i = 0; i < 10; ++i) h.Add(0);
+  EXPECT_DOUBLE_EQ(h.ValueAtQuantile(0.5), 0.0);
+}
+
+TEST(HistogramSnapshotTest, ValueAtQuantileIsMonotoneInQ) {
+  HistogramSnapshot h;
+  for (uint64_t v = 1; v <= 4096; v *= 2) {
+    for (int i = 0; i < 8; ++i) h.Add(v);
+  }
+  double prev = -1.0;
+  for (double q = 0.0; q <= 1.0; q += 0.05) {
+    const double v = h.ValueAtQuantile(q);
+    EXPECT_GE(v, prev) << "q=" << q;
+    prev = v;
+  }
+}
+
 }  // namespace
 }  // namespace cots

@@ -1,0 +1,214 @@
+#include "util/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace cots {
+namespace {
+
+#if COTS_TRACE_ENABLED
+
+TEST(TraceRingTest, RecordsInstantWithFields) {
+  TraceRegistry registry(/*ring_events=*/64);
+  TraceRing* ring = registry.LocalRing();
+  ring->RecordInstant("test.instant", 7);
+  ring->RecordInstant("test.no_arg");
+  std::vector<TraceEventView> events = registry.Collect();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_STREQ(events[0].name, "test.instant");
+  EXPECT_EQ(events[0].kind, TraceEventKind::kInstant);
+  EXPECT_EQ(events[0].arg, 7u);
+  EXPECT_EQ(events[0].dur_ns, 0u);
+  EXPECT_EQ(events[1].arg, kTraceNoArg);
+}
+
+TEST(TraceRingTest, RecordsSpanWithDuration) {
+  TraceRegistry registry(/*ring_events=*/64);
+  TraceRing* ring = registry.LocalRing();
+  const uint64_t start = TraceClock::Now();
+  // A fat synthetic duration so the ticks->ns conversion can't round the
+  // span down to zero whatever the tick rate.
+  ring->RecordSpan("test.span", start, start + 50'000'000, 3);
+  std::vector<TraceEventView> events = registry.Collect();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_STREQ(events[0].name, "test.span");
+  EXPECT_EQ(events[0].kind, TraceEventKind::kSpan);
+  EXPECT_GT(events[0].dur_ns, 0u);
+  EXPECT_EQ(events[0].arg, 3u);
+}
+
+TEST(TraceRingTest, WraparoundKeepsTheNewestEvents) {
+  TraceRegistry registry(/*ring_events=*/16);
+  TraceRing* ring = registry.LocalRing();
+  ASSERT_EQ(ring->capacity(), 16u);
+  // Lap the ring several times; args identify each event.
+  for (uint64_t i = 0; i < 100; ++i) ring->RecordInstant("test.wrap", i);
+  std::vector<TraceEventView> events = registry.Collect();
+  // The drain protocol keeps at most capacity - 1 events and never an
+  // overwritten one: everything surviving is from the newest window.
+  ASSERT_FALSE(events.empty());
+  ASSERT_LE(events.size(), 15u);
+  for (const TraceEventView& ev : events) {
+    EXPECT_STREQ(ev.name, "test.wrap");
+    EXPECT_GE(ev.arg, 100u - 16u);
+    EXPECT_LT(ev.arg, 100u);
+  }
+  // The kept window is contiguous — no overwritten event gaps survive.
+  std::vector<uint64_t> args;
+  for (const TraceEventView& ev : events) args.push_back(ev.arg);
+  std::sort(args.begin(), args.end());
+  for (size_t i = 1; i < args.size(); ++i) {
+    EXPECT_EQ(args[i], args[i - 1] + 1);
+  }
+}
+
+TEST(TraceRingTest, CapacityRoundsUpToPowerOfTwo) {
+  TraceRegistry registry(/*ring_events=*/33);
+  EXPECT_EQ(registry.LocalRing()->capacity(), 64u);
+}
+
+TEST(TraceRingTest, ClearForgetsRecordedEvents) {
+  TraceRegistry registry(/*ring_events=*/16);
+  TraceRing* ring = registry.LocalRing();
+  ring->RecordInstant("test.cleared");
+  registry.Reset();
+  EXPECT_TRUE(registry.Collect().empty());
+  ring->RecordInstant("test.after_reset");
+  EXPECT_EQ(registry.Collect().size(), 1u);
+}
+
+TEST(TraceRingTest, ConcurrentRecordWhileDrainNeverTears) {
+  TraceRegistry registry(/*ring_events=*/32);
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    TraceRing* ring = registry.LocalRing();
+    uint64_t i = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      ring->RecordInstant("test.race", i);
+      const uint64_t start = TraceClock::Now();
+      ring->RecordSpan("test.race_span", start, start + 1000, i);
+      ++i;
+    }
+  });
+  // Drain hard while the writer laps the ring. Every surviving event must
+  // decode cleanly: a torn slot would surface as a foreign name pointer
+  // (crash on strcmp), a bogus kind, or an arg from the wrong record.
+  for (int round = 0; round < 2000; ++round) {
+    for (const TraceEventView& ev : registry.Collect()) {
+      ASSERT_NE(ev.name, nullptr);
+      const bool known = std::string(ev.name) == "test.race" ||
+                         std::string(ev.name) == "test.race_span";
+      ASSERT_TRUE(known) << ev.name;
+      if (std::string(ev.name) == "test.race") {
+        ASSERT_EQ(ev.kind, TraceEventKind::kInstant);
+        ASSERT_EQ(ev.dur_ns, 0u);
+      } else {
+        ASSERT_EQ(ev.kind, TraceEventKind::kSpan);
+      }
+    }
+  }
+  stop.store(true);
+  writer.join();
+}
+
+TEST(TraceRegistryTest, CollectMergesRingsOfDeadThreads) {
+  TraceRegistry registry(/*ring_events=*/32);
+  std::thread t1([&] { registry.LocalRing()->RecordInstant("test.t1"); });
+  std::thread t2([&] { registry.LocalRing()->RecordInstant("test.t2"); });
+  t1.join();
+  t2.join();
+  std::vector<TraceEventView> events = registry.Collect();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(registry.num_rings(), 2u);
+  // Distinct threads, distinct rings, distinct tids.
+  EXPECT_NE(events[0].tid, events[1].tid);
+}
+
+TEST(TraceSpanTest, MacroRecordsIntoGlobalRegistry) {
+  TraceRegistry::Global().Reset();
+  {
+    COTS_TRACE_SPAN(span, "test.macro_span");
+    span.SetArg(42);
+  }
+  COTS_TRACE_INSTANT("test.macro_instant");
+  COTS_TRACE_INSTANT_ARG("test.macro_instant_arg", uint64_t{9});
+  bool saw_span = false, saw_instant = false, saw_arg = false;
+  for (const TraceEventView& ev : TraceRegistry::Global().Collect()) {
+    if (std::string(ev.name) == "test.macro_span") {
+      saw_span = true;
+      EXPECT_EQ(ev.kind, TraceEventKind::kSpan);
+      EXPECT_EQ(ev.arg, 42u);
+    } else if (std::string(ev.name) == "test.macro_instant") {
+      saw_instant = true;
+    } else if (std::string(ev.name) == "test.macro_instant_arg") {
+      saw_arg = true;
+      EXPECT_EQ(ev.arg, 9u);
+    }
+  }
+  EXPECT_TRUE(saw_span);
+  EXPECT_TRUE(saw_instant);
+  EXPECT_TRUE(saw_arg);
+}
+
+TEST(TraceSpanTest, CancelledSpanRecordsNothing) {
+  TraceRegistry::Global().Reset();
+  {
+    COTS_TRACE_SPAN(span, "test.cancelled");
+    span.Cancel();
+  }
+  for (const TraceEventView& ev : TraceRegistry::Global().Collect()) {
+    EXPECT_STRNE(ev.name, "test.cancelled");
+  }
+}
+
+TEST(TraceJsonTest, DrainJsonIsChromeTraceShaped) {
+  TraceRegistry registry(/*ring_events=*/32);
+  TraceRing* ring = registry.LocalRing();
+  const uint64_t start = TraceClock::Now();
+  ring->RecordSpan("test.json_span", start, start + 50'000'000, 5);
+  ring->RecordInstant("test.json_instant");
+  const std::string json = registry.DrainJson();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"displayTimeUnit\":\"ns\""), std::string::npos);
+  EXPECT_NE(json.find("\"test.json_span\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"v\":5}"), std::string::npos);
+  // The no-arg instant must not serialize a sentinel args payload.
+  const size_t instant = json.find("\"test.json_instant\"");
+  ASSERT_NE(instant, std::string::npos);
+  EXPECT_EQ(json.find("\"v\":18446744073709551615"), std::string::npos);
+}
+
+#else  // COTS_TRACE_ENABLED
+
+TEST(TraceDisabledTest, MacrosCompileToNothingAndRegistryIsAStub) {
+  // The call sites must compile and run exactly as in the enabled build.
+  {
+    COTS_TRACE_SPAN(span, "test.disabled_span");
+    span.SetArg(1);
+    span.Cancel();
+  }
+  COTS_TRACE_INSTANT("test.disabled_instant");
+  COTS_TRACE_INSTANT_ARG("test.disabled_instant_arg", uint64_t{2});
+  EXPECT_TRUE(TraceRegistry::Global().Collect().empty());
+  EXPECT_EQ(TraceRegistry::Global().num_rings(), 0u);
+}
+
+TEST(TraceDisabledTest, DrainJsonStaysAValidEmptyDocument) {
+  // --trace-out and the stats endpoint serve this unconditionally; tools
+  // must receive a well-formed (if empty) trace either way.
+  const std::string json = TraceRegistry::Global().DrainJson();
+  EXPECT_NE(json.find("\"traceEvents\":[]"), std::string::npos);
+}
+
+#endif  // COTS_TRACE_ENABLED
+
+}  // namespace
+}  // namespace cots

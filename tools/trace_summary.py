@@ -1,0 +1,123 @@
+#!/usr/bin/env python3
+"""Validate and summarize a CoTS flight-recorder trace.
+
+Reads a Chrome trace-event JSON document (what ``ingest_server
+--trace-out`` writes and the stats endpoint's ``trace`` command serves;
+DESIGN.md section 12) and
+
+1. validates the schema: a ``traceEvents`` array whose entries are ``X``
+   (complete span) or ``i`` (instant) events with a name, a tid, and a
+   non-negative microsecond timestamp; spans also carry a non-negative
+   ``dur``;
+2. prints a per-span-name summary — count and duration percentiles — plus
+   instant-event counts;
+3. optionally (``--require a,b,c``) asserts that specific event names are
+   present, which is how CI proves the hot paths were actually traced
+   during the fleet selftest.
+
+Exits 1 on a validation/requirement failure, 2 when the trace is empty
+(a trace smoke step must not pass vacuously).
+"""
+
+import argparse
+import json
+import sys
+
+
+def percentile(sorted_values, q):
+    """Nearest-rank percentile over an already-sorted list."""
+    if not sorted_values:
+        return 0.0
+    rank = max(1, min(len(sorted_values),
+                      int(q * len(sorted_values) + 0.5)))
+    return sorted_values[rank - 1]
+
+
+def validate(doc):
+    """Returns (spans, instants, errors): name -> [dur_us] / count."""
+    errors = []
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return {}, {}, ["missing traceEvents array"]
+    spans = {}
+    instants = {}
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            errors.append(f"event {i}: not an object")
+            continue
+        name = ev.get("name")
+        ph = ev.get("ph")
+        if not name or not isinstance(name, str):
+            errors.append(f"event {i}: missing name")
+            continue
+        if ph not in ("X", "i"):
+            errors.append(f"event {i} ({name}): unexpected ph {ph!r}")
+            continue
+        if not isinstance(ev.get("tid"), int):
+            errors.append(f"event {i} ({name}): missing tid")
+            continue
+        ts = ev.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            errors.append(f"event {i} ({name}): bad ts {ts!r}")
+            continue
+        if ph == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                errors.append(f"event {i} ({name}): bad dur {dur!r}")
+                continue
+            spans.setdefault(name, []).append(float(dur))
+        else:
+            instants[name] = instants.get(name, 0) + 1
+    return spans, instants, errors
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("trace", help="Chrome trace-event JSON file")
+    parser.add_argument("--require", default="",
+                        help="comma-separated event names that must appear "
+                             "(span or instant)")
+    args = parser.parse_args()
+
+    try:
+        with open(args.trace) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"trace_summary: cannot load {args.trace}: {e}",
+              file=sys.stderr)
+        return 1
+
+    spans, instants, errors = validate(doc)
+    if errors:
+        for err in errors[:20]:
+            print(f"trace_summary: {err}", file=sys.stderr)
+        print(f"trace_summary: {len(errors)} invalid event(s)",
+              file=sys.stderr)
+        return 1
+    if not spans and not instants:
+        print("trace_summary: trace is empty", file=sys.stderr)
+        return 2
+
+    total = sum(len(d) for d in spans.values()) + sum(instants.values())
+    print(f"trace_summary: {total} event(s), {len(spans)} span name(s), "
+          f"{len(instants)} instant name(s)")
+    for name in sorted(spans):
+        durs = sorted(spans[name])
+        print(f"  span     {name:<34} n={len(durs):<8} "
+              f"p50={percentile(durs, 0.5):9.3f}us "
+              f"p99={percentile(durs, 0.99):9.3f}us "
+              f"max={durs[-1]:9.3f}us")
+    for name in sorted(instants):
+        print(f"  instant  {name:<34} n={instants[name]}")
+
+    missing = [name for name in args.require.split(",")
+               if name and name not in spans and name not in instants]
+    if missing:
+        print(f"trace_summary: required event(s) absent: "
+              f"{', '.join(missing)}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
