@@ -21,7 +21,8 @@ size_t IndexCapacityFor(size_t n) {
 const PublishedView* PublishedView::Build(std::vector<Counter> counters,
                                           uint64_t stream_length,
                                           uint64_t min_freq,
-                                          uint64_t sequence) {
+                                          uint64_t sequence,
+                                          uint64_t shed_weight) {
   // Sort defensively: callers typically hand over CountersDescending output
   // (already ordered), which std::sort handles in near-linear time, but the
   // ladder and prefix queries are only correct on sorted input.
@@ -35,6 +36,7 @@ const PublishedView* PublishedView::Build(std::vector<Counter> counters,
   view->stream_length_ = stream_length;
   view->min_freq_ = min_freq;
   view->sequence_ = sequence;
+  view->shed_weight_ = shed_weight;
 
   const size_t n = counters.size();
   view->keys_.reserve(n);

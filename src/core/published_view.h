@@ -51,9 +51,14 @@ class PublishedView {
   /// `stream_length` and `min_freq` must be read at the start of the
   /// refresh that produced `counters`; `sequence` is the publisher's
   /// monotone refresh number (used by tests to order observations).
+  /// `shed_weight` is the cumulative load-shed weight absorbed by the
+  /// publisher (DESIGN.md §13); publishers fold it into every counter's
+  /// error and into `min_freq` BEFORE calling Build — the field here is
+  /// pure accounting so callers can reconstruct offered = counted + shed.
   static const PublishedView* Build(std::vector<Counter> counters,
                                     uint64_t stream_length, uint64_t min_freq,
-                                    uint64_t sequence);
+                                    uint64_t sequence,
+                                    uint64_t shed_weight = 0);
 
   COTS_DISALLOW_COPY_AND_ASSIGN(PublishedView);
 
@@ -102,6 +107,10 @@ class PublishedView {
   uint64_t min_freq() const { return min_freq_; }
   /// Publisher's refresh number; strictly increasing across publications.
   uint64_t sequence() const { return sequence_; }
+  /// Cumulative shed weight at refresh time — occurrences the publisher
+  /// admitted into its error bounds instead of its counters. Zero unless
+  /// the overload layer shed load. stream_length() excludes these.
+  uint64_t shed_weight() const { return shed_weight_; }
 
   static constexpr size_t kNotFound = ~size_t{0};
 
@@ -122,6 +131,7 @@ class PublishedView {
   uint64_t stream_length_ = 0;
   uint64_t min_freq_ = 0;
   uint64_t sequence_ = 0;
+  uint64_t shed_weight_ = 0;
 
   // Structure-of-arrays counter storage sorted by (count desc, key asc) —
   // the FlatStreamSummary memory discipline applied to a read-only copy.

@@ -15,8 +15,11 @@ bool ByCountDescending(const Counter& a, const Counter& b) {
 }  // namespace
 
 CounterSet::CounterSet(std::vector<Counter> counters, uint64_t min_freq,
-                       uint64_t n)
-    : counters_(std::move(counters)), min_freq_(min_freq), n_(n) {
+                       uint64_t n, uint64_t shed_weight)
+    : counters_(std::move(counters)),
+      min_freq_(min_freq),
+      n_(n),
+      shed_weight_(shed_weight) {
   std::sort(counters_.begin(), counters_.end(), ByCountDescending);
   BuildIndex();
 }
@@ -25,6 +28,21 @@ CounterSet CounterSet::FromSummary(const FrequencySummary& summary,
                                    uint64_t min_freq) {
   return CounterSet(summary.CountersDescending(), min_freq,
                     summary.stream_length());
+}
+
+CounterSet CounterSet::FromShedSummary(const FrequencySummary& summary,
+                                       uint64_t min_freq,
+                                       uint64_t shed_weight) {
+  std::vector<Counter> counters = summary.CountersDescending();
+  if (shed_weight != 0) {
+    // A shed occurrence of a monitored key is one increment the counter
+    // never received: true <= count + shed. Widening the (symmetric)
+    // error by shed keeps [count - error, count + error] a superset of
+    // the real interval [count - error, count + shed].
+    for (Counter& c : counters) c.error += shed_weight;
+  }
+  return CounterSet(std::move(counters), min_freq, summary.stream_length(),
+                    shed_weight);
 }
 
 void CounterSet::BuildIndex() {
@@ -79,38 +97,50 @@ CounterSet CombineCounterSets(const CounterSet& a, const CounterSet& b,
   uint64_t min_freq = mode == MergeMode::kDisjoint
                           ? std::max(a.min_freq(), b.min_freq())
                           : a.min_freq() + b.min_freq();
+  const uint64_t shed = a.shed_weight() + b.shed_weight();
   if (capacity != 0 && merged.size() > capacity) {
     // Keys dropped by truncation may have estimates above the composed
-    // bound; the merged bound on any unmonitored key must cover them.
-    min_freq = std::max(min_freq, merged[capacity].count);
+    // bound; the merged bound on any unmonitored key must cover them. A
+    // dropped key's true frequency can exceed its estimate by up to its
+    // home part's shed weight, so the raise carries the total shed too.
+    min_freq = std::max(min_freq, merged[capacity].count + shed);
     merged.resize(capacity);
   }
   return CounterSet(std::move(merged), min_freq,
-                    a.stream_length() + b.stream_length());
+                    a.stream_length() + b.stream_length(), shed);
 }
 
 CounterSet MergeSerial(const std::vector<const FrequencySummary*>& parts,
                        const std::vector<uint64_t>& min_freqs, size_t capacity,
-                       MergeMode mode) {
+                       MergeMode mode,
+                       const std::vector<uint64_t>* shed_weights) {
   assert(parts.size() == min_freqs.size());
+  assert(shed_weights == nullptr || shed_weights->size() == parts.size());
   if (parts.empty()) return CounterSet();
-  CounterSet acc = CounterSet::FromSummary(*parts[0], min_freqs[0]);
+  auto part_set = [&](size_t i) {
+    const uint64_t shed = shed_weights != nullptr ? (*shed_weights)[i] : 0;
+    return CounterSet::FromShedSummary(*parts[i], min_freqs[i], shed);
+  };
+  CounterSet acc = part_set(0);
   for (size_t i = 1; i < parts.size(); ++i) {
-    acc = CombineCounterSets(
-        acc, CounterSet::FromSummary(*parts[i], min_freqs[i]), capacity, mode);
+    acc = CombineCounterSets(acc, part_set(i), capacity, mode);
   }
   return acc;
 }
 
 CounterSet MergeHierarchical(const std::vector<const FrequencySummary*>& parts,
                              const std::vector<uint64_t>& min_freqs,
-                             size_t capacity, MergeMode mode) {
+                             size_t capacity, MergeMode mode,
+                             const std::vector<uint64_t>* shed_weights) {
   assert(parts.size() == min_freqs.size());
+  assert(shed_weights == nullptr || shed_weights->size() == parts.size());
   if (parts.empty()) return CounterSet();
   std::vector<CounterSet> level;
   level.reserve(parts.size());
   for (size_t i = 0; i < parts.size(); ++i) {
-    level.push_back(CounterSet::FromSummary(*parts[i], min_freqs[i]));
+    const uint64_t shed = shed_weights != nullptr ? (*shed_weights)[i] : 0;
+    level.push_back(
+        CounterSet::FromShedSummary(*parts[i], min_freqs[i], shed));
   }
   while (level.size() > 1) {
     const size_t pairs = level.size() / 2;

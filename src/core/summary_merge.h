@@ -50,12 +50,22 @@ enum class MergeMode : uint8_t {
 class CounterSet : public FrequencySummary {
  public:
   CounterSet() = default;
-  CounterSet(std::vector<Counter> counters, uint64_t min_freq, uint64_t n);
+  CounterSet(std::vector<Counter> counters, uint64_t min_freq, uint64_t n,
+             uint64_t shed_weight = 0);
 
   /// Snapshot of any summary. `min_freq` must be the bound on unmonitored
   /// keys (SpaceSaving::MinFreq()).
   static CounterSet FromSummary(const FrequencySummary& summary,
                                 uint64_t min_freq);
+
+  /// Snapshot of a summary that shed `shed_weight` occurrences under
+  /// overload (DESIGN.md §13). Every counter's error is widened by
+  /// `shed_weight` — a shed occurrence of a monitored key is at most one
+  /// missing increment, so [count - error', count + error'] stays a valid
+  /// two-sided bound. `min_freq` must ALREADY include the shed weight
+  /// (engine MinFreq() folds it); it is not inflated again here.
+  static CounterSet FromShedSummary(const FrequencySummary& summary,
+                                    uint64_t min_freq, uint64_t shed_weight);
 
   // FrequencySummary:
   std::optional<Counter> Lookup(ElementId e) const override;
@@ -66,6 +76,10 @@ class CounterSet : public FrequencySummary {
   size_t num_counters() const override { return counters_.size(); }
 
   uint64_t min_freq() const { return min_freq_; }
+  /// Total shed weight absorbed across the parts this set was merged from
+  /// (already folded into per-counter errors and min_freq). Accounting:
+  /// offered = stream_length() + shed_weight().
+  uint64_t shed_weight() const { return shed_weight_; }
   const std::vector<Counter>& counters() const { return counters_; }
 
  private:
@@ -75,6 +89,7 @@ class CounterSet : public FrequencySummary {
   std::unordered_map<ElementId, size_t> index_;
   uint64_t min_freq_ = 0;
   uint64_t n_ = 0;
+  uint64_t shed_weight_ = 0;
 };
 
 /// Pairwise combine, truncated to `capacity` counters (0 = unbounded).
@@ -82,10 +97,15 @@ CounterSet CombineCounterSets(const CounterSet& a, const CounterSet& b,
                               size_t capacity,
                               MergeMode mode = MergeMode::kOverlapping);
 
-/// Left-to-right fold by a single thread.
+/// Left-to-right fold by a single thread. `shed_weights`, when non-null,
+/// gives each part's cumulative shed weight (same indexing as parts); each
+/// part is snapshotted via CounterSet::FromShedSummary so the merged
+/// bounds stay sound under load shedding. min_freqs must already include
+/// the shed weights (engine MinFreq() folds them).
 CounterSet MergeSerial(const std::vector<const FrequencySummary*>& parts,
                        const std::vector<uint64_t>& min_freqs, size_t capacity,
-                       MergeMode mode = MergeMode::kOverlapping);
+                       MergeMode mode = MergeMode::kOverlapping,
+                       const std::vector<uint64_t>* shed_weights = nullptr);
 
 /// Tree reduction; each level merges pairs concurrently using std::thread.
 /// With p parts this spawns ceil(p/2) threads per level over ceil(log2 p)
@@ -94,7 +114,9 @@ CounterSet MergeSerial(const std::vector<const FrequencySummary*>& parts,
 CounterSet MergeHierarchical(const std::vector<const FrequencySummary*>& parts,
                              const std::vector<uint64_t>& min_freqs,
                              size_t capacity,
-                             MergeMode mode = MergeMode::kOverlapping);
+                             MergeMode mode = MergeMode::kOverlapping,
+                             const std::vector<uint64_t>* shed_weights =
+                                 nullptr);
 
 }  // namespace cots
 

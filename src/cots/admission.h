@@ -1,0 +1,155 @@
+// Copyright (c) the CoTS reproduction authors.
+//
+// Overload admission control (DESIGN.md §13).
+//
+// The engines themselves never block and never lie: a stalled shard makes
+// OfferBatch spill to the lock-free overflow path and report
+// OfferOutcome::kOverloaded (the batch is still fully counted), and shed
+// traffic is absorbed into a per-shard shed_weight that widens every
+// published bound. What the engines do NOT decide is *when* to stop
+// admitting traffic — that policy lives here.
+//
+// AdmissionController is a three-state machine:
+//
+//   Healthy ──► Backpressure ──► Shedding
+//      ▲              ▲              │
+//      └──────────────┴──────────────┘  (after N consecutive calm samples)
+//
+// driven by sampled signals: the summary queue-depth watermark, the
+// ring-fallback (overflow spill) rate, and the rate of kOverloaded offer
+// outcomes. Escalation is immediate (one bad sample can jump
+// Healthy→Shedding); de-escalation requires `calm_samples_to_step_down`
+// consecutive calm samples per step, so the state does not flap at the
+// threshold. Update() is meant to run on a sampling cadence (the ingest
+// server uses its report tick) — never on the per-offer hot path. state()
+// is a single relaxed atomic load, safe to consult from any thread.
+
+#ifndef COTS_COTS_ADMISSION_H_
+#define COTS_COTS_ADMISSION_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace cots {
+
+/// Result of a bounded (deadline-aware) batch offer.
+enum class OfferOutcome : uint8_t {
+  /// The batch was fully counted and the shard kept up.
+  kAccepted = 0,
+  /// The batch was STILL fully counted (all-or-nothing is preserved, so
+  /// conservation needs no special case), but more than
+  /// BatchIngestOptions::overload_spill_budget requests had to divert to
+  /// the elastic overflow path — the consumer side is not keeping up and
+  /// the caller should back off or start shedding.
+  kOverloaded = 1,
+  /// The engine is draining or stopped; nothing was counted.
+  kRefused = 2,
+};
+
+enum class AdmissionState : uint8_t {
+  kHealthy = 0,
+  kBackpressure = 1,
+  kShedding = 2,
+};
+
+/// Returns "healthy" / "backpressure" / "shedding".
+const char* AdmissionStateName(AdmissionState state);
+
+struct AdmissionOptions {
+  /// Queue-depth (hot-spot backlog) thresholds. Crossing the first enters
+  /// Backpressure, the second Shedding. Defaults are multiples of the
+  /// default dispatch batch (512): pressure means "several full batches
+  /// behind", shedding means "tens of batches behind".
+  size_t backpressure_queue_depth = 8 * 512;
+  size_t shedding_queue_depth = 32 * 512;
+
+  /// Overflow-spill (ring fallback) deltas per sample interval. Spills are
+  /// the designed elastic path, so a trickle is fine; a sustained storm
+  /// means the rings never drain.
+  uint64_t backpressure_spills = 1024;
+  uint64_t shedding_spills = 16 * 1024;
+
+  /// kOverloaded offer outcomes per sample interval. Any overloaded offer
+  /// is already a missed deadline, so the default escalates to
+  /// Backpressure on the first one and to Shedding on a steady stream.
+  uint64_t backpressure_overloaded_offers = 1;
+  uint64_t shedding_overloaded_offers = 8;
+
+  /// Consecutive calm samples (every signal below half its Backpressure
+  /// threshold) required to step DOWN one state. Escalation never waits.
+  int calm_samples_to_step_down = 3;
+
+  /// Retry hint handed to shed clients (the ingest server's
+  /// "busy <retry-after-ms>" wire reply).
+  uint32_t retry_after_ms = 50;
+};
+
+/// One sample of the overload signals. `queue_depth` is a live reading;
+/// `spills` and `overloaded_offers` are cumulative counts — Update() works
+/// with deltas between consecutive samples.
+struct AdmissionSignals {
+  size_t queue_depth = 0;
+  uint64_t spills = 0;
+  uint64_t overloaded_offers = 0;
+};
+
+class AdmissionController {
+ public:
+  explicit AdmissionController(const AdmissionOptions& options = {});
+
+  AdmissionController(const AdmissionController&) = delete;
+  AdmissionController& operator=(const AdmissionController&) = delete;
+
+  /// Feeds one sample and returns the (possibly changed) state. Call from
+  /// a single sampler thread on a steady cadence; not hot-path safe by
+  /// design (it publishes gauges and trace events on transition).
+  AdmissionState Update(const AdmissionSignals& signals);
+
+  /// Jumps straight to `state` with the same transition bookkeeping as
+  /// Update (transition counter, gauge, trace instant) and resets the
+  /// hysteresis streak. Deterministic-test and operator-override hook —
+  /// e.g. the ingest server's --force-shed-at window; sampler thread only.
+  void ForceState(AdmissionState state);
+
+  /// Current state; one relaxed atomic load, callable from any thread.
+  AdmissionState state() const {
+    return state_.load(std::memory_order_relaxed);
+  }
+
+  bool ShouldShed() const { return state() == AdmissionState::kShedding; }
+
+  uint32_t retry_after_ms() const { return options_.retry_after_ms; }
+
+  /// Total state transitions observed (for stats/tests).
+  uint64_t transitions() const {
+    return transitions_.load(std::memory_order_relaxed);
+  }
+
+  /// Samples observed while in `state` (incremented per Update() call,
+  /// counting the state the sample LEFT the controller in).
+  uint64_t samples_in(AdmissionState state) const;
+
+  const AdmissionOptions& options() const { return options_; }
+
+ private:
+  // Severity the raw signals map to, ignoring hysteresis.
+  AdmissionState Severity(const AdmissionSignals& signals,
+                          uint64_t spill_delta,
+                          uint64_t overloaded_delta) const;
+
+  AdmissionOptions options_;
+  std::atomic<AdmissionState> state_{AdmissionState::kHealthy};
+  std::atomic<uint64_t> transitions_{0};
+  std::atomic<uint64_t> samples_[3] = {};
+
+  // Sampler-thread-only bookkeeping (Update is single-caller).
+  uint64_t last_spills_ = 0;
+  uint64_t last_overloaded_ = 0;
+  bool have_baseline_ = false;
+  int calm_streak_ = 0;
+};
+
+}  // namespace cots
+
+#endif  // COTS_COTS_ADMISSION_H_

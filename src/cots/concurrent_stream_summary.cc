@@ -516,6 +516,11 @@ void ConcurrentStreamSummary::TryProcessBucket(FreqBucket* bucket,
     bool retried_parked = false;
     bool mutating = false;
     for (;;) {
+      // Chaos hook: wedge the holder mid-drain (kSpin with a large
+      // spin_iters) to prove producers stay unblocked — they must spill to
+      // the lock-free overflow path and report kOverloaded, never wait on
+      // this thread (DESIGN.md §13).
+      COTS_FAILPOINT("summary.stall_drain");
       ctx->batch.clear();
       const size_t drained = bucket->queue.DrainTo(&ctx->batch);
       // Batch sizes are the combining win: every request beyond the first

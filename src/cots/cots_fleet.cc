@@ -180,23 +180,23 @@ bool CotsFleet::ThreadHandle::Offer(ElementId e, uint64_t weight) {
   return counted;
 }
 
-bool CotsFleet::ThreadHandle::OfferBatch(const ElementId* elements,
-                                         size_t count) {
-  if (count == 0) return true;
+OfferOutcome CotsFleet::ThreadHandle::OfferBatchBounded(
+    const ElementId* elements, size_t count) {
+  if (count == 0) return OfferOutcome::kAccepted;
   COTS_TRACE_SPAN(span, "fleet.offer_batch");
   span.SetArg(count);
   InflightScope inflight(&fleet_->inflight_offers_);
   if (fleet_->state_.load(std::memory_order_seq_cst) !=
       EngineState::kRunning) {
     span.Cancel();
-    return false;
+    return OfferOutcome::kRefused;
   }
   if (shards_.size() == 1) {
     COTS_FAILPOINT("fleet.dispatch_shard");
-    const bool counted = shards_[0]->OfferBatch(elements, count);
-    assert(counted);
+    const OfferOutcome outcome = shards_[0]->OfferBatchBounded(elements, count);
+    assert(outcome != OfferOutcome::kRefused);
     fleet_->MaybeAutoRefresh(view_participant_, count);
-    return counted;
+    return outcome;
   }
   // One pass partitions the batch while keeping per-shard arrival order;
   // the buffers are cleared on entry (not exit) so nothing leaks across
@@ -206,6 +206,7 @@ bool CotsFleet::ThreadHandle::OfferBatch(const ElementId* elements,
     route_[fleet_->ShardOf(elements[i])].push_back(elements[i]);
   }
   uint64_t touched = 0;
+  bool overloaded = false;
   for (size_t s = 0; s < route_.size(); ++s) {
     if (route_[s].empty()) continue;
     ++touched;
@@ -213,14 +214,16 @@ bool CotsFleet::ThreadHandle::OfferBatch(const ElementId* elements,
     // half-landed across shards is exactly the state the drain protocol
     // must wait out.
     COTS_FAILPOINT("fleet.dispatch_shard");
-    const bool counted =
-        shards_[s]->OfferBatch(route_[s].data(), route_[s].size());
-    assert(counted);
-    if (!counted) return false;  // unreachable; see Offer
+    const OfferOutcome outcome =
+        shards_[s]->OfferBatchBounded(route_[s].data(), route_[s].size());
+    assert(outcome != OfferOutcome::kRefused);  // see Offer
+    if (outcome == OfferOutcome::kOverloaded) overloaded = true;
   }
   COTS_HISTOGRAM_RECORD("fleet.batch_shards_touched", touched);
   fleet_->MaybeAutoRefresh(view_participant_, count);
-  return true;
+  // One slow shard makes the whole fleet batch late: report it so the
+  // caller can shed before the backlog compounds.
+  return overloaded ? OfferOutcome::kOverloaded : OfferOutcome::kAccepted;
 }
 
 std::optional<Counter> CotsFleet::ThreadHandle::Lookup(ElementId e) const {
@@ -256,17 +259,53 @@ void CotsFleet::ThreadHandle::ReleaseQueryView() const {
 CounterSet CotsFleet::GlobalView() const {
   std::vector<const FrequencySummary*> views;
   std::vector<uint64_t> mins;
+  std::vector<uint64_t> sheds;
   views.reserve(shards_.size());
   mins.reserve(shards_.size());
+  sheds.reserve(shards_.size());
   for (const auto& shard : shards_) {
     views.push_back(shard.get());
+    // Shed weight read before MinFreq: MinFreq() already folds the shard's
+    // shed weight, and reading shed first keeps the pair conservative (a
+    // concurrent AbsorbShed can only make the min bound wider than the
+    // per-key widening, never narrower).
+    sheds.push_back(shard->shed_weight());
     mins.push_back(shard->MinFreq());
   }
   return options_.hierarchical_merge
              ? MergeHierarchical(views, mins, options_.merge_capacity,
-                                 MergeMode::kDisjoint)
+                                 MergeMode::kDisjoint, &sheds)
              : MergeSerial(views, mins, options_.merge_capacity,
-                           MergeMode::kDisjoint);
+                           MergeMode::kDisjoint, &sheds);
+}
+
+bool CotsFleet::Shed(const ElementId* elements, size_t count) {
+  if (count == 0) return true;
+  InflightScope inflight(&inflight_offers_);
+  if (state_.load(std::memory_order_seq_cst) != EngineState::kRunning) {
+    return false;
+  }
+  // Route each shed occurrence to the shard an offer would have landed on:
+  // the disjoint-merge bound composition relies on every key's shed weight
+  // widening its HOME shard's bounds (DESIGN.md §13).
+  for (size_t i = 0; i < count; ++i) {
+    shards_[ShardOf(elements[i])]->AbsorbShed(1);
+  }
+  COTS_TRACE_INSTANT_ARG("overload.shed", count);
+  COTS_GAUGE_SET("overload.shed_weight", shed_weight());
+  return true;
+}
+
+uint64_t CotsFleet::shed_weight() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) total += shard->shed_weight();
+  return total;
+}
+
+uint64_t CotsFleet::deadline_misses() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) total += shard->deadline_misses();
+  return total;
 }
 
 uint64_t CotsFleet::MinFreq() const {
@@ -328,8 +367,11 @@ void CotsFleet::PublishView(EpochParticipant* participant) {
   CounterSet global = GlobalView();
   const uint64_t seq = view_sequence_.load(std::memory_order_relaxed) + 1;
   span.SetArg(seq);
-  const PublishedView* next = PublishedView::Build(
-      global.CountersDescending(), n, global.min_freq(), seq);
+  // GlobalView already folded each shard's shed weight into the merged
+  // errors and min_freq; the view carries the total for accounting.
+  const PublishedView* next =
+      PublishedView::Build(global.CountersDescending(), n, global.min_freq(),
+                           seq, global.shed_weight());
   COTS_FAILPOINT("view.publish");
   const PublishedView* prev =
       published_view_.exchange(next, std::memory_order_acq_rel);

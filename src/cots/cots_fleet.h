@@ -104,7 +104,15 @@ class CotsFleet : public FrequencySummary {
     /// either every element is counted on its shard or the batch is
     /// refused in full — shards are never left half-applied. Buffers are
     /// flushed before returning; nothing is carried across calls.
-    bool OfferBatch(const ElementId* elements, size_t count);
+    bool OfferBatch(const ElementId* elements, size_t count) {
+      return OfferBatchBounded(elements, count) != OfferOutcome::kRefused;
+    }
+
+    /// OfferBatch with the overload deadline surfaced: kOverloaded means
+    /// the batch WAS fully counted across its shards but at least one
+    /// shard exceeded its overflow-spill budget — the fleet is falling
+    /// behind and the caller should back off or shed (DESIGN.md §13).
+    OfferOutcome OfferBatchBounded(const ElementId* elements, size_t count);
 
     // FrequencySummary:
     /// Lock-free point lookup on the element's home shard.
@@ -166,8 +174,26 @@ class CotsFleet : public FrequencySummary {
   CounterSet GlobalView() const;
 
   /// Bound on any unmonitored element's global frequency: the max of the
-  /// per-shard bounds (each element lives on exactly one shard).
+  /// per-shard bounds (each element lives on exactly one shard). Shard
+  /// bounds already include their shed weight, so this is sound over the
+  /// full offered stream (DESIGN.md §13).
   uint64_t MinFreq() const;
+
+  /// Absorbs a batch that admission control chose to shed: each element's
+  /// weight is accounted against its HOME shard's shed_weight (the same
+  /// routing an offer would take), so per-shard bounds widen exactly where
+  /// the lost occurrences would have landed and the disjoint merge
+  /// composition stays sound. Nothing touches the summaries; conservation
+  /// is offered = stream_length() + shed_weight(). Returns false — nothing
+  /// absorbed — once Stop() has begun, mirroring OfferBatch's
+  /// all-or-nothing handshake so accounting can never race the freeze.
+  bool Shed(const ElementId* elements, size_t count);
+
+  /// Total shed weight across all shards.
+  uint64_t shed_weight() const;
+
+  /// Total kOverloaded batches reported across all shards.
+  uint64_t deadline_misses() const;
 
   // FrequencySummary over the merged global view. Lookup routes to the
   // home shard; CountersDescending folds all shards (O(shards * capacity)

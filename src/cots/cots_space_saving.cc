@@ -211,10 +211,10 @@ inline size_t RoundUpPowerOfTwo(size_t v) {
 
 }  // namespace
 
-bool CotsSpaceSaving::ThreadHandle::OfferBatch(
+OfferOutcome CotsSpaceSaving::ThreadHandle::OfferBatchBounded(
     const ElementId* elements, size_t count,
     const BatchIngestOptions& options) {
-  if (count == 0) return true;
+  if (count == 0) return OfferOutcome::kAccepted;
   COTS_TRACE_SPAN(span, "engine.offer_batch");
   span.SetArg(count);
   InflightScope inflight(&engine_->inflight_offers_);
@@ -223,8 +223,12 @@ bool CotsSpaceSaving::ThreadHandle::OfferBatch(
   if (engine_->state_.load(std::memory_order_seq_cst) !=
       EngineState::kRunning) {
     span.Cancel();
-    return false;
+    return OfferOutcome::kRefused;
   }
+  // Overload deadline accounting (DESIGN.md §13): snapshot this thread's
+  // overflow-spill counter around the batch. Two thread-local reads — no
+  // shared-memory traffic on the healthy path.
+  const uint64_t spills_before = RequestQueue::ThreadSpills();
   engine_->n_.fetch_add(count, std::memory_order_relaxed);
   {
     EpochGuard guard(participant_);
@@ -285,7 +289,18 @@ bool CotsSpaceSaving::ThreadHandle::OfferBatch(
   // Outside the guard (see Offer); batch epoch pins are already the
   // reclamation long pole, so the refresh must not extend them.
   engine_->MaybeAutoRefresh(participant_, count);
-  return true;
+  const uint64_t spilled = RequestQueue::ThreadSpills() - spills_before;
+  if (COTS_UNLIKELY(options.overload_spill_budget != 0 &&
+                    spilled > options.overload_spill_budget)) {
+    // The batch landed in full, but only by leaning on the elastic spill
+    // path past the configured budget — the consumer side is stalled or
+    // saturated. Report it so admission control can back off or shed.
+    engine_->deadline_misses_.fetch_add(1, std::memory_order_relaxed);
+    COTS_COUNTER_INC("overload.deadline_misses");
+    COTS_TRACE_INSTANT_ARG("overload.deadline_miss", spilled);
+    return OfferOutcome::kOverloaded;
+  }
+  return OfferOutcome::kAccepted;
 }
 
 void CotsSpaceSaving::ThreadHandle::OfferGuarded(ElementId e,
@@ -384,8 +399,15 @@ std::vector<Counter> CotsSpaceSaving::CountersDescending() const {
 }
 
 uint64_t CotsSpaceSaving::MinFreq() const {
-  std::lock_guard<std::mutex> lock(query_mu_);
-  return summary_.MinFreq(query_participant_);
+  uint64_t structural;
+  {
+    std::lock_guard<std::mutex> lock(query_mu_);
+    structural = summary_.MinFreq(query_participant_);
+  }
+  // Under load shedding an unmonitored element may additionally have
+  // occurred up to shed_weight() times without the structure seeing it;
+  // the bound must cover the full offered stream (DESIGN.md §13).
+  return structural + shed_weight_.load(std::memory_order_relaxed);
 }
 
 const PublishedView* CotsSpaceSaving::AcquireQueryView() const {
@@ -416,12 +438,23 @@ void CotsSpaceSaving::PublishView(EpochParticipant* participant) {
   // is covered by this figure (the view may additionally report length for
   // offers still in flight — conservative for thresholds).
   const uint64_t n = n_.load(std::memory_order_acquire);
+  // Shed weight read BEFORE the counter snapshot: sheds absorbed during
+  // the snapshot may be missing from these bounds, but they are covered by
+  // the next refresh — same staleness contract as the counters themselves.
+  const uint64_t shed = shed_weight_.load(std::memory_order_acquire);
   std::vector<Counter> counters = summary_.CountersDescending(participant);
-  const uint64_t min_freq = summary_.MinFreq(participant);
+  if (COTS_UNLIKELY(shed != 0)) {
+    // Fold the shed into every per-key bound: a shed occurrence of a
+    // monitored key is at most one missing increment, so widening the
+    // symmetric error keeps [count-err, count+err] valid over the full
+    // offered stream (DESIGN.md §13).
+    for (Counter& c : counters) c.error += shed;
+  }
+  const uint64_t min_freq = summary_.MinFreq(participant) + shed;
   const uint64_t seq = view_sequence_.load(std::memory_order_relaxed) + 1;
   span.SetArg(seq);
   const PublishedView* next =
-      PublishedView::Build(std::move(counters), n, min_freq, seq);
+      PublishedView::Build(std::move(counters), n, min_freq, seq, shed);
   COTS_FAILPOINT("view.publish");
   const PublishedView* prev =
       published_view_.exchange(next, std::memory_order_acq_rel);

@@ -30,6 +30,7 @@
 #include <vector>
 
 #include "core/counter.h"
+#include "cots/admission.h"
 #include "cots/concurrent_stream_summary.h"
 #include "cots/delegation_hash_table.h"
 #include "util/ebr.h"
@@ -48,8 +49,8 @@ struct BatchIngestOptions {
   /// this). Engines size their per-bucket request rings from it: one
   /// coalesced batch can funnel one request per distinct key into a single
   /// destination bucket while the producer holds another bucket, so an
-  /// undersized ring diverts the burst tail to the mutex overflow fallback
-  /// (see CotsSpaceSavingOptions::request_ring_capacity).
+  /// undersized ring diverts the burst tail to the lock-free overflow
+  /// spill list (see CotsSpaceSavingOptions::request_ring_capacity).
   static constexpr size_t kDefaultBatchDepth = 512;
 
   /// How many elements ahead of the cursor to prefetch hash buckets for;
@@ -63,6 +64,15 @@ struct BatchIngestOptions {
   /// preserved, which matches the engine's concurrent semantics — a
   /// delegated lump already lands as one bulk increment).
   bool coalesce = true;
+  /// Overload deadline budget, in overflow spills per batch (DESIGN.md
+  /// §13): if more than this many requests divert to the elastic overflow
+  /// path while the batch lands, OfferBatchBounded reports
+  /// OfferOutcome::kOverloaded (the batch is STILL fully counted — the
+  /// outcome is a backpressure signal, not a loss). Every enqueue is
+  /// individually bounded (ring spin limit, then one lock-free spill), so
+  /// this budget also bounds the batch's wall time against a wedged
+  /// consumer. 0 disables the report (never returns kOverloaded).
+  size_t overload_spill_budget = 64;
 };
 
 /// Engine lifecycle (DESIGN.md §8). Running: normal ingest and queries.
@@ -92,8 +102,8 @@ struct CotsSpaceSavingOptions {
   /// skew: tickets advance monotonically, so the enqueue/drain working set
   /// is the whole array, and a multi-KB ring per hot bucket thrashes the
   /// cache the hot path lives in. The rare deep burst diverts to the
-  /// mutex overflow vector, which is the designed elastic path, not an
-  /// error.
+  /// lock-free overflow spill list, which is the designed elastic path,
+  /// not an error.
   size_t request_ring_capacity = 0;
   /// Summary node layout (core/counter.h): kFlat pre-allocates every
   /// SummaryNode in one contiguous per-engine slab (SummaryNodePool) so
@@ -159,7 +169,21 @@ class CotsSpaceSaving : public FrequencySummary {
       return OfferBatch(elements, count, BatchIngestOptions{});
     }
     bool OfferBatch(const ElementId* elements, size_t count,
-                    const BatchIngestOptions& options);
+                    const BatchIngestOptions& options) {
+      return OfferBatchBounded(elements, count, options) !=
+             OfferOutcome::kRefused;
+    }
+
+    /// OfferBatch with the overload deadline surfaced (DESIGN.md §13):
+    /// kAccepted and kOverloaded both mean the batch was FULLY counted
+    /// (all-or-nothing vs Stop() is unchanged); kOverloaded additionally
+    /// reports that more than options.overload_spill_budget requests had
+    /// to divert to the overflow spill path — the consumer side is
+    /// stalled or saturated and the caller should back off or shed.
+    /// kRefused means Stop() won the handshake and nothing was counted.
+    OfferOutcome OfferBatchBounded(const ElementId* elements, size_t count,
+                                   const BatchIngestOptions& options =
+                                       BatchIngestOptions{});
 
     // FrequencySummary, all through this thread's epoch slot (lock-free).
     /// Point lookup against the live structure.
@@ -249,7 +273,33 @@ class CotsSpaceSaving : public FrequencySummary {
 
   size_t capacity() const { return summary_.capacity(); }
   /// Bound on any unmonitored element's frequency (0 while not full).
+  /// Includes the absorbed shed weight: under load shedding an unmonitored
+  /// element may additionally have occurred shed_weight() times, so the
+  /// bound widens by exactly that (DESIGN.md §13).
   uint64_t MinFreq() const;
+
+  /// Absorbs `weight` occurrences that admission control chose to shed
+  /// instead of offering (DESIGN.md §13). Nothing is counted into the
+  /// structure or stream_length(); the weight lands in shed_weight() and
+  /// from there widens MinFreq() and every subsequently published view's
+  /// error bounds, so all reported guarantees stay valid over the FULL
+  /// offered stream (counted + shed). Thread-safe, one relaxed fetch_add;
+  /// never blocks and never touches the summary.
+  void AbsorbShed(uint64_t weight) {
+    shed_weight_.fetch_add(weight, std::memory_order_relaxed);
+  }
+
+  /// Cumulative shed weight absorbed via AbsorbShed. Conservation:
+  /// offered = stream_length() + shed_weight().
+  uint64_t shed_weight() const {
+    return shed_weight_.load(std::memory_order_relaxed);
+  }
+
+  /// Batches that reported OfferOutcome::kOverloaded (spill budget
+  /// exceeded); mirrors the "overload.deadline_misses" metric.
+  uint64_t deadline_misses() const {
+    return deadline_misses_.load(std::memory_order_relaxed);
+  }
 
   /// Rebuilds and publishes the query view now, regardless of the
   /// auto-refresh interval. Blocks out any concurrent auto-refresh, so on
@@ -323,6 +373,10 @@ class CotsSpaceSaving : public FrequencySummary {
   DelegationHashTable table_;
   ConcurrentStreamSummary summary_;
   std::atomic<uint64_t> n_{0};
+  /// Occurrences shed under overload; folded into every published bound
+  /// but never into n_ (see AbsorbShed).
+  std::atomic<uint64_t> shed_weight_{0};
+  std::atomic<uint64_t> deadline_misses_{0};
 
   std::atomic<EngineState> state_{EngineState::kRunning};
   /// Offers between stream-length accounting and delegated-work completion;

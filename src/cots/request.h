@@ -21,19 +21,32 @@
 // A full ring makes the producer spin-retry a bounded number of times (the
 // holder is actively draining); if the consumer still has not freed a slot
 // — e.g. it was descheduled mid-drain, or a holder-to-holder delegation
-// cycle formed under extreme load — the producer falls back to a small
-// spinlock-guarded overflow vector rather than blocking, so enqueue always
-// completes without waiting on the consumer. The fallback is counted
-// ("request_queue.fallback_allocations"); in steady state it is never
-// taken and the whole path is lock-free and allocation-free.
+// cycle formed under extreme load — the producer diverts to a lock-free
+// overflow spill list (a Treiber stack of heap nodes) rather than
+// blocking, so enqueue completes in a bounded number of steps REGARDLESS
+// of what the consumer is doing. This matters for overload resilience
+// (DESIGN.md §13): with the earlier mutex-guarded overflow vector, a
+// consumer descheduled mid-drain could wedge every producer of a hot
+// bucket behind the lock; now a wedged consumer costs producers one heap
+// allocation and one CAS each, and OfferBatch can report
+// OfferOutcome::kOverloaded from the spill count instead of stalling.
+// Spills are counted ("request_queue.fallback_allocations", plus a
+// per-thread counter read by the offer-deadline budget); in steady state
+// the fallback is never taken and the whole path is allocation-free.
+//
+// Close interacts with the spill list through a tagged head pointer: the
+// closer first CASes the EMPTY list head to a closed tag (so no spill can
+// slip in while the ring close is decided), then closes the ring via the
+// ticket-word CAS, undoing the tag if the ring turns out non-empty. A
+// producer that observes the tag treats the queue as closed and re-routes;
+// that is observable only on buckets the closer already proved empty, where
+// re-routing is the correct outcome anyway.
 
 #ifndef COTS_COTS_REQUEST_H_
 #define COTS_COTS_REQUEST_H_
 
 #include <atomic>
 #include <cstdint>
-#include <iterator>
-#include <memory>
 #include <vector>
 
 #include "stream/stream.h"
@@ -105,8 +118,28 @@ class RequestQueue {
   /// their rings.
   explicit RequestQueue(size_t capacity = kDefaultRingCapacity)
       : ring_mask_(RoundUpPowerOfTwo(capacity) - 1) {}
-  ~RequestQueue() { delete[] ring_.load(std::memory_order_acquire); }
+  ~RequestQueue() {
+    delete[] ring_.load(std::memory_order_acquire);
+    // Engines drain before destruction, but be safe against teardown with
+    // spilled requests still pending.
+    OverflowNode* head = overflow_head_.load(std::memory_order_acquire);
+    while (head != nullptr && head != ClosedTag()) {
+      OverflowNode* next = head->next;
+      delete head;
+      head = next;
+    }
+  }
   COTS_DISALLOW_COPY_AND_ASSIGN(RequestQueue);
+
+  /// Calling thread's cumulative count of enqueues that diverted to the
+  /// overflow spill list. OfferBatch computes its per-batch overload
+  /// budget from deltas of this, which keeps overload detection off the
+  /// shared-memory hot path entirely (no new cross-thread atomics per
+  /// offer — the spill itself is already the slow path).
+  static uint64_t& ThreadSpills() {
+    thread_local uint64_t spills = 0;
+    return spills;
+  }
 
   size_t ring_capacity() const { return ring_mask_ + 1; }
 
@@ -199,17 +232,31 @@ class RequestQueue {
 
   /// Atomically closes the queue if it is empty. Once closed, it stays
   /// closed; a closed queue is permanently empty. Consumer-side only. The
-  /// close linearizes on the producer word: a producer's ticket CAS and the
-  /// close CAS cannot both succeed from the same tail value.
+  /// ring close linearizes on the producer word (a producer's ticket CAS
+  /// and the close CAS cannot both succeed from the same tail value); the
+  /// spill list is fenced first by tagging its empty head, so a fallback
+  /// enqueue cannot land between the emptiness check and the ring close.
   bool CloseIfEmpty() {
-    // The overflow lock serializes against fallback enqueues, which cannot
-    // linearize through the ticket CAS. Uncontended in steady state.
-    std::lock_guard<SpinLock> guard(overflow_mu_);
-    if (!overflow_.empty()) return false;
+    OverflowNode* expected = nullptr;
+    if (!overflow_head_.compare_exchange_strong(expected, ClosedTag(),
+                                                std::memory_order_acq_rel,
+                                                std::memory_order_acquire)) {
+      // A real node: spilled requests pending, cannot close. The tag means
+      // a previous CloseIfEmpty succeeded (the tag is permanent once the
+      // ring close lands), so report closed.
+      return expected == ClosedTag();
+    }
     uint64_t ticket = tail_.load(std::memory_order_relaxed);
     for (;;) {
       if (ticket & kClosedBit) return true;
-      if (ticket != head_.load(std::memory_order_relaxed)) return false;
+      if (ticket != head_.load(std::memory_order_relaxed)) {
+        // Ring non-empty: abort and lift the tag. A producer that spilled
+        // against the tag in this window was refused and re-routed — the
+        // same outcome as closing successfully, and provably only possible
+        // on buckets the caller already observed empty (see file comment).
+        overflow_head_.store(nullptr, std::memory_order_release);
+        return false;
+      }
       if (tail_.compare_exchange_weak(ticket, ticket | kClosedBit,
                                       std::memory_order_acq_rel,
                                       std::memory_order_relaxed)) {
@@ -237,6 +284,19 @@ class RequestQueue {
 
  private:
   static constexpr uint64_t kClosedBit = uint64_t{1} << 63;
+
+  /// Spill-list node. Heap-allocated only on the (counted) fallback path;
+  /// freed by the consumer's drain or the destructor.
+  struct OverflowNode {
+    Request item;
+    OverflowNode* next;
+  };
+
+  /// Sentinel head value marking the spill list closed. Never dereferenced;
+  /// any odd non-null address distinct from real nodes works.
+  static OverflowNode* ClosedTag() {
+    return reinterpret_cast<OverflowNode*>(uintptr_t{1});
+  }
 
   static constexpr size_t RoundUpPowerOfTwo(size_t v) {
     size_t p = 2;
@@ -283,29 +343,62 @@ class RequestQueue {
   }
 
   bool EnqueueOverflow(const Request& request) {
-    std::lock_guard<SpinLock> guard(overflow_mu_);
-    // Re-check under the lock: CloseIfEmpty holds it too, so a close
-    // cannot slip between this check and the push.
-    if (tail_.load(std::memory_order_acquire) & kClosedBit) return false;
+    // The count is raised BEFORE the push so size()/Quiescent() can only
+    // over-report, never under-report, a concurrent spill (a transient +1
+    // costs at most one futile drain pass; a transient -1 would let Stop()
+    // declare a non-empty queue quiescent).
+    overflow_count_.fetch_add(1, std::memory_order_release);
+    auto* node = new OverflowNode{request, nullptr};
+    OverflowNode* head = overflow_head_.load(std::memory_order_acquire);
+    for (;;) {
+      if (COTS_UNLIKELY(head == ClosedTag())) {
+        // Closed (or mid-close on a bucket already proven empty): refuse
+        // and let the caller re-route, exactly like the ring's closed bit.
+        delete node;
+        overflow_count_.fetch_sub(1, std::memory_order_release);
+        return false;
+      }
+      node->next = head;
+      if (overflow_head_.compare_exchange_weak(head, node,
+                                               std::memory_order_acq_rel,
+                                               std::memory_order_acquire)) {
+        break;
+      }
+    }
     COTS_COUNTER_INC("request_queue.fallback_allocations");
-    overflow_.push_back(request);
-    overflow_count_.store(overflow_.size(), std::memory_order_release);
+    ++ThreadSpills();
     // Timestamped so a trace shows WHEN the ring saturated (a burst of
     // these clustered around a drain stall is the signature to look for);
     // the arg is the spilled backlog at that moment.
-    COTS_TRACE_INSTANT_ARG("request_queue.overflow", overflow_.size());
+    COTS_TRACE_INSTANT_ARG("request_queue.overflow",
+                           overflow_count_.load(std::memory_order_relaxed));
     return true;
   }
 
   size_t DrainOverflow(std::vector<Request>* out) {
-    std::lock_guard<SpinLock> guard(overflow_mu_);
-    const size_t n = overflow_.size();
-    if (n == 0) return 0;
-    out->reserve(out->size() + n);
-    out->insert(out->end(), std::make_move_iterator(overflow_.begin()),
-                std::make_move_iterator(overflow_.end()));
-    overflow_.clear();  // keeps capacity
-    overflow_count_.store(0, std::memory_order_release);
+    OverflowNode* head = overflow_head_.load(std::memory_order_acquire);
+    if (head == nullptr || head == ClosedTag()) return 0;
+    // Only the single consumer installs the closed tag and only while the
+    // list is empty, so this exchange can never clobber a tag.
+    head = overflow_head_.exchange(nullptr, std::memory_order_acq_rel);
+    // The stack pops newest-first; reverse in place so spilled requests
+    // drain in arrival order (per-producer FIFO, like the ring).
+    OverflowNode* reversed = nullptr;
+    while (head != nullptr) {
+      OverflowNode* next = head->next;
+      head->next = reversed;
+      reversed = head;
+      head = next;
+    }
+    size_t n = 0;
+    while (reversed != nullptr) {
+      out->push_back(reversed->item);
+      OverflowNode* next = reversed->next;
+      delete reversed;
+      reversed = next;
+      ++n;
+    }
+    overflow_count_.fetch_sub(n, std::memory_order_release);
     return n;
   }
 
@@ -322,9 +415,9 @@ class RequestQueue {
   /// changes once installed, so readers need no reclamation protocol.
   std::atomic<Slot*> ring_{nullptr};
 
-  // Overflow fallback; empty in steady state (see file comment).
-  SpinLock overflow_mu_;
-  std::vector<Request> overflow_;
+  // Lock-free overflow spill list; empty in steady state (see file
+  // comment). Holds ClosedTag() once the queue is closed.
+  std::atomic<OverflowNode*> overflow_head_{nullptr};
   std::atomic<size_t> overflow_count_{0};
 };
 

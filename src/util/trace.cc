@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <cstdlib>
 
 #include "util/json_writer.h"
 
@@ -103,7 +104,22 @@ TraceRegistry::TraceRegistry(size_t ring_events)
 TraceRegistry::~TraceRegistry() = default;
 
 TraceRegistry& TraceRegistry::Global() {
-  static TraceRegistry* global = new TraceRegistry();  // never destroyed
+  // COTS_TRACE_RING_EVENTS widens (or narrows) the per-thread window for
+  // capture runs where the interesting events precede a burst of hot-path
+  // traffic — e.g. the shed e2e drill, whose overload instants fire
+  // mid-stream and would otherwise be overwritten by post-recovery
+  // dispatch spans before the shutdown dump. Read once, at first use.
+  static TraceRegistry* global = [] {  // never destroyed
+    size_t events = kDefaultRingEvents;
+    if (const char* env = std::getenv("COTS_TRACE_RING_EVENTS")) {
+      char* end = nullptr;
+      const unsigned long long v = std::strtoull(env, &end, 10);
+      if (end != env && v >= 8 && v <= (1ull << 24)) {
+        events = static_cast<size_t>(v);
+      }
+    }
+    return new TraceRegistry(events);
+  }();
   return *global;
 }
 

@@ -284,6 +284,46 @@ TEST(BenchJsonTest, ReportParsesWithDocumentedKeys) {
 #endif
 }
 
+// The overload/shedding observables (DESIGN.md §13) are part of the report
+// contract: once the overload layer touches them they must surface in the
+// metrics section under these exact names — tools/trace_summary.py and the
+// CI chaos job key on them.
+TEST(BenchJsonTest, OverloadMetricsAppearUnderContractNames) {
+#if !COTS_METRICS_ENABLED
+  GTEST_SKIP() << "metrics compiled out";
+#else
+  COTS_GAUGE_SET("overload.state", uint64_t{2});
+  COTS_GAUGE_SET("overload.shed_weight", uint64_t{128});
+  COTS_COUNTER_INC("overload.deadline_misses");
+  COTS_COUNTER_INC("server.slow_client_evictions");
+  bench::BenchReport report;
+  report.SetTitle("overload contract");
+  const std::string doc = report.ToJson(MakeConfig());
+
+  JsonValue root;
+  ASSERT_TRUE(JsonParser(doc).Parse(&root)) << doc;
+  const JsonValue* metrics = root.Get("metrics");
+  ASSERT_NE(metrics, nullptr);
+  const JsonValue* counters = metrics->Get("counters");
+  const JsonValue* gauges = metrics->Get("gauges");
+  ASSERT_NE(counters, nullptr);
+  ASSERT_NE(gauges, nullptr);
+
+  const JsonValue* state = gauges->Get("overload.state");
+  ASSERT_NE(state, nullptr);
+  EXPECT_EQ(state->number, 2.0);  // AdmissionState::kShedding
+  const JsonValue* shed = gauges->Get("overload.shed_weight");
+  ASSERT_NE(shed, nullptr);
+  EXPECT_GE(shed->number, 128.0);
+  const JsonValue* misses = counters->Get("overload.deadline_misses");
+  ASSERT_NE(misses, nullptr);
+  EXPECT_GE(misses->number, 1.0);
+  const JsonValue* evictions = counters->Get("server.slow_client_evictions");
+  ASSERT_NE(evictions, nullptr);
+  EXPECT_GE(evictions->number, 1.0);
+#endif
+}
+
 // Timing rows whose "threads" extra exceeds the machine's hardware threads
 // are timeshared measurements, not scaling points; the report must stamp
 // them so downstream comparisons can filter them out. Rows at or below the

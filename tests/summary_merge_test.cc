@@ -31,6 +31,63 @@ TEST(CounterSetTest, FromSummarySnapshot) {
   EXPECT_EQ(set.min_freq(), 0u);  // not full
 }
 
+TEST(CounterSetTest, FromShedSummaryWidensEveryError) {
+  SpaceSaving ss = MakeWithCapacity(10);
+  ss.Process({1, 1, 2});
+  // min_freq must arrive already shed-folded (engine MinFreq() does it);
+  // FromShedSummary only widens the per-counter errors.
+  CounterSet set = CounterSet::FromShedSummary(ss, ss.MinFreq() + 5, 5);
+  EXPECT_EQ(set.stream_length(), 3u);
+  EXPECT_EQ(set.shed_weight(), 5u);
+  EXPECT_EQ(set.Lookup(1)->count, 2u);
+  EXPECT_EQ(set.Lookup(1)->error, 5u);
+  EXPECT_EQ(set.Lookup(2)->error, 5u);
+  EXPECT_EQ(set.min_freq(), 5u);
+  // Zero shed degenerates to the plain snapshot.
+  CounterSet plain = CounterSet::FromShedSummary(ss, ss.MinFreq(), 0);
+  EXPECT_EQ(plain.Lookup(1)->error, 0u);
+  EXPECT_EQ(plain.shed_weight(), 0u);
+}
+
+TEST(CombineTest, ShedWeightSumsAndRaisesTruncationBound) {
+  // Disjoint shards with per-shard shed already folded into errors/mins.
+  CounterSet a({{1, 10, 3}, {3, 2, 3}}, /*min_freq=*/3, /*n=*/12,
+               /*shed_weight=*/3);
+  CounterSet b({{2, 8, 0}}, /*min_freq=*/0, /*n=*/8, /*shed_weight=*/0);
+  CounterSet m = CombineCounterSets(a, b, 2, MergeMode::kDisjoint);
+  EXPECT_EQ(m.shed_weight(), 3u);
+  EXPECT_EQ(m.stream_length(), 20u);
+  // Truncation dropped key 3 (estimate 2): a key dropped at estimate e may
+  // truly have up to e + total shed occurrences, so the raised bound must
+  // include the shed weight.
+  EXPECT_FALSE(m.Lookup(3).has_value());
+  EXPECT_GE(m.min_freq(), 2u + 3u);
+}
+
+TEST(MergeTest, SerialMergeFoldsPerPartShedWeights) {
+  SpaceSaving p0 = MakeWithCapacity(4);
+  SpaceSaving p1 = MakeWithCapacity(4);
+  p0.Process({1, 1, 1, 2});
+  p1.Process({3, 3, 4});
+  const std::vector<const FrequencySummary*> parts = {&p0, &p1};
+  // Shard 0 shed 2 occurrences; min_freqs arrive pre-folded as the engine
+  // publishes them.
+  const std::vector<uint64_t> sheds = {2, 0};
+  const std::vector<uint64_t> mins = {p0.MinFreq() + 2, p1.MinFreq()};
+  const CounterSet merged =
+      MergeSerial(parts, mins, 0, MergeMode::kDisjoint, &sheds);
+  EXPECT_EQ(merged.shed_weight(), 2u);
+  // Shard-0 keys carry shard-0's shed in their error; shard-1 keys don't.
+  EXPECT_EQ(merged.Lookup(1)->count, 3u);
+  EXPECT_EQ(merged.Lookup(1)->error, 2u);
+  EXPECT_EQ(merged.Lookup(3)->error, 0u);
+  const CounterSet hier =
+      MergeHierarchical(parts, mins, 0, MergeMode::kDisjoint, &sheds);
+  EXPECT_EQ(hier.shed_weight(), 2u);
+  EXPECT_EQ(hier.Lookup(1)->error, 2u);
+  EXPECT_EQ(hier.Lookup(3)->error, 0u);
+}
+
 TEST(CombineTest, DisjointKeysAddMinFreqBounds) {
   CounterSet a({{1, 10, 0}}, /*min_freq=*/2, /*n=*/12);
   CounterSet b({{2, 8, 0}}, /*min_freq=*/3, /*n=*/11);
